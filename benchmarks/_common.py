@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper's evaluation at
+the paper's processor counts (16K / 32K / 64K ranks) by default.  Set
+``REPRO_BENCH_SCALE=small`` to run a 16x-reduced sweep for quick iteration
+(series shapes persist; absolute values differ).
+
+Each benchmark prints the regenerated series in the same rows/axes the
+paper reports, and asserts the paper's qualitative claims (who wins, by
+roughly what factor, where the optimum falls) at paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper") != "small"
+
+#: Weak-scaling processor counts for Figs. 5-7 / Table I.
+SIZES = (16384, 32768, 65536) if PAPER_SCALE else (1024, 2048, 4096)
+
+#: Fig. 8's file-count sweep values.
+FIG8_FILES = (256, 512, 1024, 2048, 4096) if PAPER_SCALE else (16, 32, 64, 128, 256)
+
+#: Processor counts for the distribution figures.
+FIG9_NP = 16384 if PAPER_SCALE else 1024     # 1PFPP distribution
+FIG10_NP = 65536 if PAPER_SCALE else 4096    # coIO distribution
+FIG11_NP = 65536 if PAPER_SCALE else 4096    # rbIO distribution
+FIG12_NP = 32768 if PAPER_SCALE else 2048    # Darshan write activity
+
+
+def print_series(title: str, columns, rows) -> None:
+    """Render one figure's data as an aligned text table."""
+    print(f"\n=== {title} ===")
+    header = " | ".join(f"{c:>24}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(f"{v:>24}" for v in row))

@@ -1,0 +1,39 @@
+"""Figure 10: per-rank I/O time distribution for coIO 64:1 at 65,536 ranks.
+
+The paper: far more synchronized than 1PFPP (note the smaller y-range),
+most processors finish within ~10 s, but a few outlier groups — noise
+under shared-storage load — take several times longer, and every rank in
+the collective waits for the slowest.
+"""
+
+import numpy as np
+from _common import FIG10_NP, PAPER_SCALE, print_series
+
+from repro.experiments import fig10_distribution_coio
+from repro.profiling import distribution_summary
+
+
+def test_fig10_distribution_coio(benchmark):
+    ranks, times = benchmark.pedantic(
+        lambda: fig10_distribution_coio(n_ranks=FIG10_NP), rounds=1, iterations=1
+    )
+    s = distribution_summary(times)
+    print_series(
+        f"Fig 10: coIO 64:1 per-rank I/O time, np={FIG10_NP}",
+        ["metric", "value"],
+        [
+            ["ranks", str(len(ranks))],
+            ["median", f"{s['median']:.2f} s"],
+            ["p95", f"{s['p95']:.2f} s"],
+            ["max", f"{s['max']:.2f} s"],
+            ["outlier fraction (>3x med)", f"{s['outlier_fraction']:.4f}"],
+        ],
+    )
+
+    assert len(ranks) == FIG10_NP
+    # Much tighter than the 1PFPP spread: median within 4x of p95...
+    assert s["p95"] < 4 * s["median"]
+    if PAPER_SCALE:
+        # ...but outlier groups several times the median hold everyone back.
+        assert s["max"] > 2.0 * s["median"]
+        assert s["median"] < 15.0

@@ -1,0 +1,39 @@
+"""Figure 11: per-rank I/O time distribution for rbIO at 65,536 processors.
+
+The paper's two "lines": an almost flat upper line — the 1,024 writers'
+commit time, well synchronized even with independent MPI_File_write_at —
+and a near-zero lower line, the workers' Isend windows.
+"""
+
+import numpy as np
+from _common import FIG11_NP, PAPER_SCALE, print_series
+
+from repro.experiments import fig11_distribution_rbio
+from repro.profiling import distribution_summary
+
+
+def test_fig11_distribution_rbio(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig11_distribution_rbio(n_ranks=FIG11_NP), rounds=1, iterations=1
+    )
+    w = distribution_summary(out["writer_times"])
+    k = distribution_summary(out["worker_times"])
+    print_series(
+        f"Fig 11: rbIO per-rank I/O time, np={FIG11_NP}",
+        ["population", "count", "median", "max", "spread(max/median)"],
+        [
+            ["writers", w["count"], f"{w['median']:.2f} s", f"{w['max']:.2f} s",
+             f"{w['max']/w['median']:.2f}"],
+            ["workers", k["count"], f"{k['median']*1e6:.0f} us",
+             f"{k['max']*1e6:.0f} us", f"{k['max']/max(k['median'],1e-12):.2f}"],
+        ],
+    )
+
+    # Two separated lines: workers orders of magnitude below writers.
+    assert k["max"] < w["median"] / 100
+    # The writer line is flat (good synchronization without collectives).
+    assert w["max"] < 1.6 * w["median"]
+    if PAPER_SCALE:
+        assert w["count"] == 1024
+        # Writers commit ~156 GB in ~10 s.
+        assert 5 < w["median"] < 20

@@ -1,0 +1,43 @@
+"""Figure 5: write bandwidth of the five I/O configurations vs processors.
+
+Paper series (GPFS on Intrepid, weak scaling 39/78/156 GB per step):
+1PFPP collapses to ~0.1 GB/s on metadata; coIO/rbIO with nf=1 plateau at a
+few GB/s on single-file extent allocation; coIO 64:1 rises then drops at
+64K; rbIO nf=ng scales flat-rising past 13 GB/s at 65,536 processors.
+"""
+
+from _common import PAPER_SCALE, SIZES, print_series
+
+from repro.experiments import APPROACH_LABELS, fig5_write_bandwidth
+
+
+def test_fig5_write_bandwidth(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig5_write_bandwidth(sizes=SIZES), rounds=1, iterations=1
+    )
+    rows = [
+        [APPROACH_LABELS[key]] + [f"{out[key][n]:.2f} GB/s" for n in SIZES]
+        for key in out
+    ]
+    print_series("Fig 5: write bandwidth", ["approach"] + [f"np={n}" for n in SIZES], rows)
+
+    for n in SIZES:
+        # rbIO nf=ng beats its nf=1 variant; the two nf=1 variants are
+        # comparable (two-phase layers do not interfere).
+        assert out["rbio_ng"][n] > out["rbio_nf1"][n]
+        assert 0.5 < out["rbio_nf1"][n] / out["coio_nf1"][n] < 2.0
+    if PAPER_SCALE:
+        # Mechanisms that need paper-scale volume/directories to bite:
+        # the metadata storm and the ~2x single-file allocation gap.
+        for n in SIZES:
+            assert out["1pfpp"][n] < out["coio_nf1"][n] / 5
+            assert out["rbio_ng"][n] > 1.5 * out["rbio_nf1"][n]
+        n16, n32, n64 = SIZES
+        # >13 GB/s on 65,536 processors; ~100x over 1PFPP.
+        assert out["rbio_ng"][n64] > 13.0
+        assert out["rbio_ng"][n64] > 50 * out["1pfpp"][n64]
+        # coIO 64:1 drops at 64K; rbIO performs no worse at larger scale.
+        assert out["coio_64"][n64] < out["coio_64"][n32]
+        assert out["rbio_ng"][n64] >= out["coio_64"][n64]
+        # rbIO nf=ng scales (monotone non-decreasing).
+        assert out["rbio_ng"][n16] <= out["rbio_ng"][n32] <= out["rbio_ng"][n64]

@@ -1,0 +1,33 @@
+"""Figure 6: overall time per checkpointing step (log scale in the paper).
+
+rbIO and coIO cut the step time by orders of magnitude versus 1PFPP; the
+rbIO bars stay nearly flat up to 65,536 processors.
+"""
+
+from _common import PAPER_SCALE, SIZES, print_series
+
+from repro.experiments import APPROACH_LABELS, fig6_overall_time
+
+
+def test_fig6_overall_time(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig6_overall_time(sizes=SIZES), rounds=1, iterations=1
+    )
+    rows = [
+        [APPROACH_LABELS[key]] + [f"{out[key][n]:.2f} s" for n in SIZES]
+        for key in out
+    ]
+    print_series("Fig 6: overall time per checkpoint step",
+                  ["approach"] + [f"np={n}" for n in SIZES], rows)
+
+    if PAPER_SCALE:
+        for n in SIZES:
+            assert out["1pfpp"][n] > 5 * out["coio_nf1"][n]
+        n16, _n32, n64 = SIZES
+        # 1PFPP in the hundreds-to-thousands of seconds.
+        assert out["1pfpp"][n16] > 100
+        assert out["1pfpp"][n64] > 1000
+        # rbIO nf=ng stays ~flat: 64K within 4x of 16K despite 4x the data.
+        assert out["rbio_ng"][n64] < 4 * out["rbio_ng"][n16]
+        # And absolute magnitude ~10 s (156 GB at >13 GB/s).
+        assert out["rbio_ng"][n64] < 15

@@ -1,0 +1,38 @@
+"""Figure 7: ratio of checkpoint time over computation time per step.
+
+The paper: Ratio_1PFPP generally above 1000 while Ratio_rbIO stays flat and
+small — rbIO is the only approach whose checkpoint cost does not grow into
+the computation.  (Our rbIO numerator is the application-blocking time:
+workers resume after the Isend window while dedicated writers drain in the
+background; see DESIGN.md §5 and EXPERIMENTS.md for the discrepancy note.)
+"""
+
+from _common import PAPER_SCALE, SIZES, print_series
+
+from repro.experiments import APPROACH_LABELS, TCOMP_PER_STEP, fig7_checkpoint_ratio
+
+
+def test_fig7_checkpoint_ratio(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig7_checkpoint_ratio(sizes=SIZES), rounds=1, iterations=1
+    )
+    rows = [
+        [APPROACH_LABELS[key]] + [f"{out[key][n]:.3g}" for n in SIZES]
+        for key in out
+    ]
+    print_series(
+        f"Fig 7: T(checkpoint)/T(computation)  [Tcomp={TCOMP_PER_STEP}s/step]",
+        ["approach"] + [f"np={n}" for n in SIZES], rows,
+    )
+
+    for n in SIZES:
+        assert out["rbio_ng"][n] < out["coio_64"][n]
+    if PAPER_SCALE:
+        for n in SIZES:
+            assert out["coio_64"][n] < out["1pfpp"][n]
+        n16, _n32, n64 = SIZES
+        # Ratio_1pfpp above 1000 (paper: "generally above 1000").
+        assert out["1pfpp"][n16] > 1000
+        # Ratio_rbio under 20 and flat across the sweep.
+        assert out["rbio_ng"][n64] < 20
+        assert out["rbio_ng"][n64] < 3 * max(out["rbio_ng"][n16], 1e-9)

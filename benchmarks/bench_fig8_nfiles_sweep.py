@@ -1,0 +1,36 @@
+"""Figure 8: rbIO (nf = ng) bandwidth as a function of the number of files.
+
+The paper: performance peaks near nf = 1024 concurrently written files on
+Intrepid's GPFS at 16K, 32K, and 64K processors — too few files can't
+drive the backend, too many thrash it (and flood the step directory).
+"""
+
+from _common import FIG8_FILES, PAPER_SCALE, SIZES, print_series
+
+from repro.experiments import fig8_file_sweep
+
+
+def test_fig8_file_sweep(benchmark):
+    out = benchmark.pedantic(
+        lambda: fig8_file_sweep(sizes=SIZES, n_files=FIG8_FILES),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for n in SIZES:
+        rows.append([f"np={n}"] + [
+            f"{out[n][nf]:.2f}" if nf in out[n] else "-" for nf in FIG8_FILES
+        ])
+    print_series("Fig 8: rbIO (nf=ng) bandwidth (GB/s) vs number of files",
+                  ["series"] + [f"nf={nf}" for nf in FIG8_FILES], rows)
+
+    if PAPER_SCALE:
+        for n in SIZES:
+            present = {nf: bw for nf, bw in out[n].items()}
+            best = max(present, key=present.get)
+            # The optimum sits at 1024 files at every scale.
+            assert best == 1024, (n, present)
+            # And the curve falls away on both sides.
+            if 256 in present:
+                assert present[256] < present[1024]
+            if 4096 in present:
+                assert present[4096] < present[1024]

@@ -1,0 +1,36 @@
+"""Figure 9: per-rank I/O time distribution for 1PFPP at 16,384 processors.
+
+The paper's scatter: some processors finish within seconds while others
+take more than 300 s — the signature of 16,384 file creates serializing
+through one directory's metadata.
+"""
+
+import numpy as np
+from _common import FIG9_NP, PAPER_SCALE, print_series
+
+from repro.experiments import fig9_distribution_1pfpp
+from repro.profiling import distribution_summary
+
+
+def test_fig9_distribution_1pfpp(benchmark):
+    ranks, times = benchmark.pedantic(
+        lambda: fig9_distribution_1pfpp(n_ranks=FIG9_NP), rounds=1, iterations=1
+    )
+    s = distribution_summary(times)
+    deciles = np.percentile(times, [0, 10, 25, 50, 75, 90, 100])
+    print_series(
+        f"Fig 9: 1PFPP per-rank I/O time, np={FIG9_NP}",
+        ["metric", "value"],
+        [["ranks", str(len(ranks))]]
+        + [[f"p{p}", f"{v:.1f} s"] for p, v in
+           zip([0, 10, 25, 50, 75, 90, 100], deciles)]
+        + [["mean", f"{s['mean']:.1f} s"]],
+    )
+
+    assert len(ranks) == FIG9_NP
+    # Triangular spread: earliest finishers are a small fraction of the max.
+    assert deciles[1] < deciles[-1] / 3
+    if PAPER_SCALE:
+        # Fastest ranks finish within seconds; slowest beyond 300 s.
+        assert deciles[0] < 10
+        assert deciles[-1] > 250

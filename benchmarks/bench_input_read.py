@@ -1,0 +1,36 @@
+"""Supplementary (paper Section III-B): global .rea input read time.
+
+Paper: reading the global mesh takes 7.5 s (E = 136K on 32,768 procs) to
+28 s (E = 546K on 131,072 procs).  Read happens once per run, which is why
+the optimization focus is the write path.
+"""
+
+from _common import PAPER_SCALE, print_series
+
+from repro.experiments.inputread import input_read_time
+
+CASES = [(32768, 136_000), (65536, 546_000)] if PAPER_SCALE else [(1024, 8_000)]
+
+
+def test_input_read(benchmark):
+    def run():
+        return [input_read_time(n, e) for n, e in CASES]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "Input read: global .rea presetup",
+        ["np", "E", "file", "read", "parse", "bcast", "total"],
+        [[r["n_ranks"], r["elements"], f"{r['file_mb']:.0f} MB",
+          f"{r['read']:.2f} s", f"{r['parse']:.2f} s",
+          f"{r['bcast']:.2f} s", f"{r['total']:.2f} s"] for r in results],
+    )
+
+    for r in results:
+        assert r["total"] > 0
+        assert r["parse"] > r["bcast"]  # parsing dominates distribution
+    if PAPER_SCALE:
+        small, large = results
+        # 7.5 s and 28 s in the paper; match within ~2x.
+        assert 3 < small["total"] < 15
+        assert 14 < large["total"] < 56
+        assert large["total"] > 2.5 * small["total"]

@@ -1,0 +1,52 @@
+"""Supplementary: restart-read performance of the checkpoint layouts.
+
+The paper motivates application-level checkpoints as restart *and*
+postprocessing inputs.  This bench measures the coordinated restart path
+(every rank reading its blocks back) for the three layouts.  Restart is
+read-dominated — no allocation or lock-token costs — so even the nf=1
+single-file layout restores far faster than it wrote.
+"""
+
+from _common import PAPER_SCALE, print_series
+
+from repro.ckpt import CollectiveIO, OneFilePerProcess, ReducedBlockingIO
+from repro.experiments import paper_data, run_checkpoint_and_restore, scaled_problem
+
+NP = 16384 if PAPER_SCALE else 2048
+
+
+def test_restart_read(benchmark):
+    data = paper_data(NP) if PAPER_SCALE else scaled_problem(NP).data()
+
+    def run():
+        out = {}
+        for label, strategy in [
+            ("1PFPP", OneFilePerProcess()),
+            ("coIO 64:1", CollectiveIO(ranks_per_file=64)),
+            ("rbIO nf=ng", ReducedBlockingIO(workers_per_writer=64)),
+        ]:
+            out[label] = run_checkpoint_and_restore(strategy, NP, data)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, r in out.items():
+        rows.append([
+            label,
+            f"{r['checkpoint'].overall_time:.2f} s",
+            f"{r['restore_seconds']:.2f} s",
+            f"{r['restore_bandwidth']/1e9:.2f} GB/s",
+        ])
+    print_series(
+        f"Restart read, np={NP}",
+        ["layout", "checkpoint (write)", "restart (read)", "read bandwidth"],
+        rows,
+    )
+
+    for label, r in out.items():
+        assert r["restore_seconds"] > 0
+        assert max(r["per_rank_restore"].values()) <= r["restore_seconds"] * 1.01
+    if PAPER_SCALE:
+        # Restart avoids the write-side pathologies: far faster than the
+        # 1PFPP write path once the metadata storm exists.
+        assert out["1PFPP"]["restore_seconds"] < out["1PFPP"]["checkpoint"].overall_time / 3

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Serial NekCEM run producing real vtk checkpoints on local disk.
+
+Exercises the application the paper checkpoints, at laptop scale: the SEDG
+Maxwell solver integrates the TM110 mode of a PEC cavity, dumping vtk
+legacy files (Fig. 2's output format — master header, grid, per-field
+blocks) that ParaView/VisIt can open directly.  The run reports spectral
+accuracy against the closed-form solution and verifies the dumps by reading
+one back.
+
+Run:  python examples/cavity_vtk_dumps.py [outdir]
+"""
+
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.nekcem import MaxwellSolver, NekCEMApp, box_mesh, read_vtk
+
+
+def main() -> None:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="nekcem-cavity-"
+    )
+    mesh = box_mesh((2, 2, 2))
+    order = 8
+    app = NekCEMApp(mesh, order=order)
+    dt = app.solver.max_dt()
+    n_steps = int(round(1.0 / dt))
+    every = max(1, n_steps // 4)
+    print(f"cavity: E={mesh.n_elements}, N={order}, "
+          f"n={mesh.n_gridpoints(order)} points, dt={dt:.5f}, "
+          f"{n_steps} steps, checkpoint every {every}")
+
+    out = app.run(n_steps=n_steps, dt=dt, checkpoint_every=every,
+                  outdir=outdir)
+
+    err = app.solver.l2_error(out["state"], app.solver.cavity_mode(out["t_final"]))
+    print(f"t_final = {out['t_final']:.4f}")
+    print(f"L2 error vs exact TM110 mode: {err:.3e}  (spectral accuracy)")
+    print(f"energy: {out['energy']:.8f}")
+    print(f"{len(out['checkpoints'])} vtk checkpoints in {outdir}:")
+    for path in out["checkpoints"]:
+        print(f"  {path}  ({os.path.getsize(path)/1e6:.2f} MB)")
+
+    # Verify the final dump round-trips.
+    back = read_vtk(out["checkpoints"][-1])
+    p3 = (order + 1) ** 3
+    ez_file = back["fields"]["Ez"]
+    ez_state = out["state"][2].reshape(mesh.n_elements, p3).ravel()
+    assert np.allclose(ez_file, ez_state)
+    print("\nOK: final vtk dump matches the in-memory state "
+          f"({len(back['points'])} points, {len(back['cells'])} hex cells).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Application-level checkpointing strategies — the paper's contribution.
+
+Three approaches from Fu et al. (CLUSTER 2011):
+
+- :class:`OneFilePerProcess` — 1PFPP baseline (one POSIX file per rank);
+- :class:`CollectiveIO` — coIO, tuned MPI-IO collectives with tunable nf;
+- :class:`ReducedBlockingIO` — rbIO, application-level two-phase I/O with
+  dedicated writers (the reduced-blocking contribution).
+
+Plus the shared data/layout/result types and the production-time model.
+"""
+
+from .base import CheckpointStrategy
+from .coio import CollectiveIO
+from .data import CheckpointData, Field
+from .layout import FileLayout
+from .onefileper import OneFilePerProcess
+from .rbio import ReducedBlockingIO
+from .result import CheckpointResult, RankReport
+from .schedule import CheckpointSchedule, checkpoint_ratio, production_improvement
+
+__all__ = [
+    "CheckpointStrategy",
+    "CollectiveIO",
+    "CheckpointData",
+    "Field",
+    "FileLayout",
+    "OneFilePerProcess",
+    "ReducedBlockingIO",
+    "CheckpointResult",
+    "RankReport",
+    "CheckpointSchedule",
+    "checkpoint_ratio",
+    "production_improvement",
+]

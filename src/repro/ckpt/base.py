@@ -1,0 +1,79 @@
+"""Checkpoint strategy interface.
+
+A strategy implements one coordinated application-level checkpoint step: all
+ranks enter :meth:`CheckpointStrategy.checkpoint` together (the experiment
+runner barriers first), each rank contributes its
+:class:`~repro.ckpt.data.CheckpointData`, and each rank returns a
+:class:`~repro.ckpt.result.RankReport` describing when it was blocked and
+when its I/O duty completed.
+
+Strategies are shared, immutable configuration objects; per-rank state that
+must persist across steps (split communicators, cached layouts) lives in
+``ctx.user`` under the strategy's cache key.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..mpi import RankContext
+from .data import CheckpointData
+from .result import RankReport
+
+__all__ = ["CheckpointStrategy"]
+
+
+class CheckpointStrategy:
+    """Base class for the three checkpointing I/O approaches."""
+
+    #: Short identifier used in result tables ("1pfpp", "coio", "rbio").
+    name: str = "abstract"
+
+    def checkpoint(self, ctx: RankContext, data: CheckpointData, step: int,
+                   basedir: str = "/ckpt"):
+        """Generator: perform one coordinated checkpoint step on this rank.
+
+        Returns a :class:`~repro.ckpt.result.RankReport`.
+        """
+        raise NotImplementedError
+
+    def restore(self, ctx: RankContext, template: CheckpointData, step: int,
+                basedir: str = "/ckpt"):
+        """Generator: read this rank's contribution back (restart path).
+
+        ``template`` describes the expected field names/sizes.  Returns the
+        list of per-field payload byte strings.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        """Strategy parameters for result records / EXPERIMENTS.md rows."""
+        return {"name": self.name}
+
+    # -- shared helpers -------------------------------------------------------
+    def step_dir(self, basedir: str, step: int) -> str:
+        """Directory holding one checkpoint step's files."""
+        return f"{basedir}/step{step:06d}"
+
+    def _cache(self, ctx: RankContext) -> dict:
+        """Per-rank persistent state for this strategy instance."""
+        key = f"ckpt:{id(self)}"
+        cache = ctx.user.get(key)
+        if cache is None:
+            cache = {}
+            ctx.user[key] = cache
+        return cache
+
+    @staticmethod
+    def _report(ctx: RankContext, role: str, t_start: float,
+                t_blocked_end: float, t_complete: float, nbytes: int,
+                isend_seconds: float = 0.0) -> RankReport:
+        return RankReport(
+            rank=ctx.rank,
+            role=role,
+            t_start=t_start,
+            t_blocked_end=t_blocked_end,
+            t_complete=t_complete,
+            bytes_local=nbytes,
+            isend_seconds=isend_seconds,
+        )

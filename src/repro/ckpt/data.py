@@ -1,0 +1,118 @@
+"""Checkpoint data descriptors.
+
+A rank's checkpoint contribution is an ordered list of named *fields*
+(NekCEM writes geometry plus the six electromagnetic components
+Ex, Ey, Ez, Hx, Hy, Hz).  Payload bytes are optional: small-scale runs carry
+real field data end-to-end (restart round-trips are bit-exact), figure-scale
+runs carry sizes only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["Field", "CheckpointData"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named data block in a rank's checkpoint contribution."""
+
+    name: str
+    nbytes: int
+    payload: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative field size: {self.nbytes}")
+        if self.payload is not None and len(self.payload) != self.nbytes:
+            raise ValueError(
+                f"field {self.name!r}: payload length {len(self.payload)} "
+                f"!= nbytes {self.nbytes}"
+            )
+
+
+class CheckpointData:
+    """One rank's ordered checkpoint contribution.
+
+    Parameters
+    ----------
+    fields:
+        The data blocks, in file order.  All participating ranks must use
+        the same field names in the same order (the SPMD contract).
+    header_bytes:
+        Size of the per-file master header (application name, version,
+        offset table...).  Written once per output file by that file's
+        first writer.
+    """
+
+    def __init__(self, fields: Sequence[Field], header_bytes: int = 4096) -> None:
+        if header_bytes < 0:
+            raise ValueError(f"negative header size: {header_bytes}")
+        self.fields = list(fields)
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names: {names}")
+        self.header_bytes = header_bytes
+
+    @property
+    def n_fields(self) -> int:
+        """Number of fields."""
+        return len(self.fields)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of field sizes (excluding any header)."""
+        return sum(f.nbytes for f in self.fields)
+
+    @property
+    def field_sizes(self) -> tuple[int, ...]:
+        """Per-field sizes, in order."""
+        return tuple(f.nbytes for f in self.fields)
+
+    @property
+    def has_payload(self) -> bool:
+        """Whether every field carries real bytes."""
+        return all(f.payload is not None for f in self.fields)
+
+    def concatenated_payload(self) -> Optional[bytes]:
+        """All field payloads joined in order (None if any is missing)."""
+        if not self.has_payload:
+            return None
+        return b"".join(f.payload for f in self.fields)  # type: ignore[misc]
+
+    @classmethod
+    def synthetic(cls, bytes_per_field: Sequence[int],
+                  names: Optional[Sequence[str]] = None,
+                  header_bytes: int = 4096) -> "CheckpointData":
+        """Size-only checkpoint data (figure-scale workloads)."""
+        if names is None:
+            names = [f"field{i}" for i in range(len(bytes_per_field))]
+        return cls(
+            [Field(n, b) for n, b in zip(names, bytes_per_field)],
+            header_bytes=header_bytes,
+        )
+
+    @classmethod
+    def nekcem_like(cls, points_per_rank: int, header_bytes: int = 4096
+                    ) -> "CheckpointData":
+        """A NekCEM-shaped contribution for ``points_per_rank`` grid points.
+
+        Layout follows the paper's vtk output: a geometry block
+        (coordinates + cell connectivity, ~10 doubles-equivalent per point)
+        followed by the six field components at 8 bytes per point each.
+        The byte-per-point total matches the paper's reported file sizes
+        (39 GB for 275M points => ~142 B/point).
+        """
+        geom = 94 * points_per_rank  # coordinates, connectivity, cell types
+        comp = 8 * points_per_rank
+        names = ["geometry", "Ex", "Ey", "Ez", "Hx", "Hy", "Hz"]
+        sizes = [geom] + [comp] * 6
+        return cls.synthetic(sizes, names, header_bytes=header_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CheckpointData {self.n_fields} fields, "
+            f"{self.total_bytes} B{' +payload' if self.has_payload else ''}>"
+        )

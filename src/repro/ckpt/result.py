@@ -1,0 +1,160 @@
+"""Per-rank reports and aggregate results of one checkpoint step.
+
+The measurement semantics follow DESIGN.md section 5:
+
+- *raw write bandwidth* (Figs. 5 and 8): total bytes over the wall-clock
+  window from the coordinated start to the slowest participating rank's
+  completion (open + write + close), writers included;
+- *overall time* (Fig. 6): that same window;
+- *blocking time* (Fig. 7 numerator): the longest any **compute** rank was
+  prevented from resuming computation.  For 1PFPP/coIO every rank blocks
+  until its (collective) write finishes; for rbIO workers block only for
+  the MPI_Isend window while dedicated writers drain in the background;
+- *perceived bandwidth* (Table I): total worker bytes over the maximum
+  Isend completion window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["RankReport", "CheckpointResult"]
+
+
+@dataclass
+class RankReport:
+    """What one rank experienced during a checkpoint step."""
+
+    rank: int
+    role: str                 # "writer" | "worker" | "independent"
+    t_start: float            # coordinated checkpoint start (after barrier)
+    t_blocked_end: float      # when this rank could resume computation
+    t_complete: float         # when this rank's I/O duty was fully done
+    bytes_local: int          # checkpoint bytes this rank contributed
+    isend_seconds: float = 0.0  # rbIO workers: Isend completion window
+
+    @property
+    def io_time(self) -> float:
+        """The per-rank 'I/O time' plotted in Figs. 9-11."""
+        return self.t_complete - self.t_start
+
+    @property
+    def blocked_seconds(self) -> float:
+        """How long computation was blocked on this rank."""
+        return self.t_blocked_end - self.t_start
+
+
+class CheckpointResult:
+    """Aggregate outcome of one coordinated checkpoint step."""
+
+    def __init__(self, approach: str, reports: dict[int, RankReport],
+                 params: Optional[dict[str, Any]] = None,
+                 fs_stats: Optional[dict] = None) -> None:
+        if not reports:
+            raise ValueError("no rank reports")
+        self.approach = approach
+        self.params = dict(params or {})
+        self.fs_stats = dict(fs_stats or {})
+        self.n_ranks = len(reports)
+        ranks = sorted(reports)
+        self.ranks = np.array(ranks, dtype=np.int64)
+        self.roles = [reports[r].role for r in ranks]
+        self.t_start = np.array([reports[r].t_start for r in ranks])
+        self.t_blocked_end = np.array([reports[r].t_blocked_end for r in ranks])
+        self.t_complete = np.array([reports[r].t_complete for r in ranks])
+        self.bytes_local = np.array([reports[r].bytes_local for r in ranks], dtype=np.int64)
+        self.isend_seconds = np.array([reports[r].isend_seconds for r in ranks])
+
+    # -- core metrics ----------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Checkpoint bytes across all ranks."""
+        return int(self.bytes_local.sum())
+
+    @property
+    def start_time(self) -> float:
+        """Coordinated start instant."""
+        return float(self.t_start.min())
+
+    @property
+    def overall_time(self) -> float:
+        """Fig. 6 metric: window to the slowest rank's completion."""
+        return float(self.t_complete.max() - self.start_time)
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Fig. 5 metric: total bytes / overall time (B/s)."""
+        t = self.overall_time
+        return self.total_bytes / t if t > 0 else float("inf")
+
+    @property
+    def blocking_time(self) -> float:
+        """Fig. 7 numerator: longest *compute*-rank blockage (seconds).
+
+        Dedicated rbIO writers are I/O ranks — the solver's time-stepping
+        loop runs on the workers, so writers are excluded (they drain in
+        the background).  For 1PFPP/coIO every rank computes and blocks.
+        """
+        blocked = self.t_blocked_end - self.t_start
+        mask = np.array([role != "writer" for role in self.roles])
+        if not mask.any():
+            return float(blocked.max())
+        return float(blocked[mask].max())
+
+    @property
+    def per_rank_io_time(self) -> dict[int, float]:
+        """Per-rank I/O time (Figs. 9-11 scatter)."""
+        io = self.t_complete - self.t_start
+        return {int(r): float(t) for r, t in zip(self.ranks, io)}
+
+    # -- role views -------------------------------------------------------------
+    @property
+    def writer_ranks(self) -> list[int]:
+        """Ranks that committed data to the file system."""
+        return [int(r) for r, role in zip(self.ranks, self.roles)
+                if role in ("writer", "independent")]
+
+    @property
+    def worker_ranks(self) -> list[int]:
+        """Ranks that only shipped data to a writer (rbIO workers)."""
+        return [int(r) for r, role in zip(self.ranks, self.roles) if role == "worker"]
+
+    # -- rbIO perceived metrics ----------------------------------------------
+    @property
+    def perceived_time(self) -> float:
+        """Table I: max worker Isend completion window (seconds)."""
+        mask = np.array([role == "worker" for role in self.roles])
+        if not mask.any():
+            return 0.0
+        return float(self.isend_seconds[mask].max())
+
+    @property
+    def perceived_bandwidth(self) -> float:
+        """Table I: total worker bytes / perceived time (B/s)."""
+        mask = np.array([role == "worker" for role in self.roles])
+        t = self.perceived_time
+        if t <= 0:
+            return 0.0
+        return float(self.bytes_local[mask].sum()) / t
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for printing in benches/EXPERIMENTS.md."""
+        return {
+            "approach": self.approach,
+            "n_ranks": self.n_ranks,
+            "total_gb": self.total_bytes / 1e9,
+            "overall_time_s": self.overall_time,
+            "bandwidth_gbps": self.write_bandwidth / 1e9,
+            "blocking_time_s": self.blocking_time,
+            "n_writers": len(self.writer_ranks),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CheckpointResult {self.approach} np={self.n_ranks} "
+            f"{self.total_bytes/1e9:.2f}GB in {self.overall_time:.2f}s "
+            f"({self.write_bandwidth/1e9:.2f} GB/s)>"
+        )

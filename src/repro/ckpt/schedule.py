@@ -1,0 +1,122 @@
+"""Checkpoint scheduling and the paper's production-time model (Eq. 1).
+
+The paper quantifies end-to-end benefit with the ratio of production times
+under two I/O approaches, checkpointing every ``nc`` computation steps:
+
+    improvement = (Tc_a + nc * Tcomp) / (Tc_b + nc * Tcomp)
+                = (Ratio_a + nc) / (Ratio_b + nc),          (Eq. 1)
+
+where ``Ratio = Tc / Tcomp`` is the checkpoint-to-computation ratio plotted
+in Fig. 7.  With ``nc = 20``, Ratio_1PFPP > 1000 and Ratio_rbIO < 20 give
+the paper's ~25x production improvement.
+
+:class:`CheckpointSchedule` also provides the classic Young interval as an
+extension (not in the paper): the checkpoint frequency that minimises
+expected lost work under a failure rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "checkpoint_ratio",
+    "production_improvement",
+    "CheckpointSchedule",
+]
+
+
+def checkpoint_ratio(t_checkpoint: float, t_computation_step: float) -> float:
+    """Fig. 7 metric: checkpoint time per I/O step over compute time per step."""
+    if t_computation_step <= 0:
+        raise ValueError("computation step time must be positive")
+    return t_checkpoint / t_computation_step
+
+
+def production_improvement(t_ckpt_old: float, t_ckpt_new: float,
+                           t_computation_step: float, nc: int) -> float:
+    """Eq. 1: end-to-end production speedup of approach *new* over *old*.
+
+    ``nc`` is the number of computation steps between checkpoints.
+    """
+    if nc < 1:
+        raise ValueError("nc must be >= 1")
+    r_old = checkpoint_ratio(t_ckpt_old, t_computation_step)
+    r_new = checkpoint_ratio(t_ckpt_new, t_computation_step)
+    return (r_old + nc) / (r_new + nc)
+
+
+@dataclass(frozen=True)
+class CheckpointSchedule:
+    """A periodic checkpoint schedule for a time-stepping solver.
+
+    Parameters
+    ----------
+    nc:
+        Checkpoint every ``nc`` computation steps.
+    t_computation_step:
+        Wall-clock seconds per computation step.
+    t_checkpoint:
+        Wall-clock seconds the application is blocked per checkpoint.
+    """
+
+    nc: int
+    t_computation_step: float
+    t_checkpoint: float
+
+    def __post_init__(self) -> None:
+        if self.nc < 1:
+            raise ValueError("nc must be >= 1")
+        if self.t_computation_step <= 0:
+            raise ValueError("computation step time must be positive")
+        if self.t_checkpoint < 0:
+            raise ValueError("negative checkpoint time")
+
+    def is_checkpoint_step(self, step: int) -> bool:
+        """Whether a checkpoint is taken after computation step ``step``.
+
+        Steps are 1-based; a run of ``n`` steps checkpoints at
+        ``nc, 2*nc, ...``.
+        """
+        if step < 1:
+            raise ValueError("steps are 1-based")
+        return step % self.nc == 0
+
+    def production_time(self, n_steps: int) -> float:
+        """Total wall-clock for ``n_steps`` steps including checkpoints."""
+        if n_steps < 0:
+            raise ValueError("negative step count")
+        n_ckpts = n_steps // self.nc
+        return n_steps * self.t_computation_step + n_ckpts * self.t_checkpoint
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of production time spent checkpointing (long-run)."""
+        period = self.nc * self.t_computation_step + self.t_checkpoint
+        return self.t_checkpoint / period
+
+    @property
+    def ratio(self) -> float:
+        """The Fig. 7 ratio for this schedule."""
+        return checkpoint_ratio(self.t_checkpoint, self.t_computation_step)
+
+    @staticmethod
+    def young_interval(t_checkpoint: float, mtbf: float) -> float:
+        """Young's optimal checkpoint interval: sqrt(2 * Tc * MTBF) seconds.
+
+        An extension beyond the paper for sizing ``nc`` on failure-prone
+        systems.
+        """
+        if t_checkpoint <= 0 or mtbf <= 0:
+            raise ValueError("checkpoint time and MTBF must be positive")
+        return math.sqrt(2.0 * t_checkpoint * mtbf)
+
+    @classmethod
+    def young(cls, t_checkpoint: float, t_computation_step: float, mtbf: float
+              ) -> "CheckpointSchedule":
+        """Schedule with ``nc`` chosen by Young's formula (at least 1)."""
+        interval = cls.young_interval(t_checkpoint, mtbf)
+        nc = max(1, round(interval / t_computation_step))
+        return cls(nc=nc, t_computation_step=t_computation_step,
+                   t_checkpoint=t_checkpoint)

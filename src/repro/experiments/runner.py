@@ -1,0 +1,172 @@
+"""Run coordinated checkpoint steps and collect results.
+
+This is the measurement harness every benchmark uses: build a job on the
+simulated machine, attach storage and a profiler, run one (or several)
+coordinated checkpoint steps with a given strategy, and return
+:class:`~repro.ckpt.CheckpointResult` objects with the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..ckpt import CheckpointData, CheckpointResult, CheckpointStrategy
+from ..mpi import Job
+from ..profiling import DarshanProfiler
+from ..storage import attach_storage
+from ..topology import MachineConfig, intrepid
+
+__all__ = ["CheckpointRun", "run_checkpoint_step", "run_checkpoint_steps"]
+
+DataBuilder = Union[CheckpointData, Callable[[int], CheckpointData]]
+
+
+class CheckpointRun:
+    """Everything produced by a checkpoint experiment run."""
+
+    def __init__(self, job: Job, profiler: DarshanProfiler,
+                 results: list[CheckpointResult]) -> None:
+        self.job = job
+        self.profiler = profiler
+        self.results = results
+
+    @property
+    def result(self) -> CheckpointResult:
+        """The (last) step's result."""
+        return self.results[-1]
+
+    @property
+    def fs(self):
+        """The job's file system."""
+        return self.job.services["fs"]
+
+
+def _data_fn(data: DataBuilder) -> Callable[[int], CheckpointData]:
+    if isinstance(data, CheckpointData):
+        return lambda _rank: data
+    return data
+
+
+def _rank_main(ctx, strategy: CheckpointStrategy, data_fn, steps: list[int],
+               basedir: str, gap_seconds: float, barrier_each_step: bool):
+    data = data_fn(ctx.rank)
+    # Dedicated I/O ranks (rbIO writers) do not compute between
+    # checkpoints — they spend the gap draining their backlog.
+    is_writer = False
+    if gap_seconds > 0 and hasattr(strategy, "writer_ranks"):
+        is_writer = ctx.rank in set(strategy.writer_ranks(ctx.comm.size))
+    reports = []
+    for i, step in enumerate(steps):
+        if i and gap_seconds > 0 and not is_writer:
+            # Computation between checkpoints (nc * Tcomp).
+            yield ctx.engine.timeout(gap_seconds)
+        if i == 0 or barrier_each_step:
+            # Coordinated checkpoint start.  Without per-step barriers
+            # ranks iterate at their own pace (the solver's nearest-
+            # neighbour coupling, not a global barrier, is what loosely
+            # synchronizes a real run) — this is the mode that exposes
+            # rbIO writer backpressure.
+            yield from ctx.comm.barrier()
+        report = yield from strategy.checkpoint(ctx, data, step, basedir)
+        reports.append(report)
+    return reports
+
+
+def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
+                         data: DataBuilder, n_steps: int = 1,
+                         config: Optional[MachineConfig] = None,
+                         seed: Optional[int] = None,
+                         basedir: str = "/ckpt",
+                         fs_type: str = "gpfs",
+                         gap_seconds: float = 0.0,
+                         barrier_each_step: bool = True) -> CheckpointRun:
+    """Run ``n_steps`` coordinated checkpoint steps; return all results.
+
+    Each step writes into its own ``stepNNNNNN`` directory, as NekCEM does
+    (restart files double as visualization dumps).  ``fs_type`` selects the
+    storage variant ("gpfs" default, "lustre"/"pvfs" for the comparison
+    studies); ``gap_seconds`` inserts computation time between checkpoints
+    (nc * Tcomp), during which rbIO writers drain their backlog.
+    """
+    if n_steps < 1:
+        raise ValueError("need at least one step")
+    config = config if config is not None else intrepid()
+    job = Job(n_ranks, config, seed=seed)
+    profiler = DarshanProfiler()
+    fs = attach_storage(job, profiler=profiler, fs_type=fs_type)
+    for ctx in job.contexts:
+        ctx.profiler = profiler
+    steps = list(range(n_steps))
+    job.spawn(_rank_main, strategy, _data_fn(data), steps, basedir,
+              gap_seconds, barrier_each_step)
+    per_rank = job.run()
+    results = []
+    for i, step in enumerate(steps):
+        reports = {rank: reps[i] for rank, reps in per_rank.items()}
+        results.append(
+            CheckpointResult(
+                strategy.name, reports, params=strategy.describe(),
+                fs_stats=fs.stats(),
+            )
+        )
+    return CheckpointRun(job, profiler, results)
+
+
+def run_checkpoint_step(strategy: CheckpointStrategy, n_ranks: int,
+                        data: DataBuilder,
+                        config: Optional[MachineConfig] = None,
+                        seed: Optional[int] = None,
+                        basedir: str = "/ckpt",
+                        fs_type: str = "gpfs") -> CheckpointRun:
+    """Run a single coordinated checkpoint step."""
+    return run_checkpoint_steps(strategy, n_ranks, data, 1, config, seed,
+                                basedir, fs_type)
+
+
+def run_checkpoint_and_restore(strategy: CheckpointStrategy, n_ranks: int,
+                               data: DataBuilder,
+                               config: Optional[MachineConfig] = None,
+                               seed: Optional[int] = None,
+                               basedir: str = "/ckpt",
+                               fs_type: str = "gpfs") -> dict:
+    """One checkpoint step followed by a coordinated restart read.
+
+    Returns the checkpoint :class:`~repro.ckpt.CheckpointResult` plus
+    restart timing: the window from the coordinated restore start until
+    the slowest rank holds its state again (the restart latency a failure
+    recovery pays).
+    """
+    config = config if config is not None else intrepid()
+    job = Job(n_ranks, config, seed=seed)
+    profiler = DarshanProfiler()
+    fs = attach_storage(job, profiler=profiler, fs_type=fs_type)
+    for ctx in job.contexts:
+        ctx.profiler = profiler
+    data_fn = _data_fn(data)
+    restore_windows: dict[int, tuple[float, float]] = {}
+
+    def rank_main(ctx):
+        d = data_fn(ctx.rank)
+        yield from ctx.comm.barrier()
+        report = yield from strategy.checkpoint(ctx, d, 0, basedir)
+        yield from ctx.comm.barrier()  # coordinated restart start
+        t0 = ctx.engine.now
+        yield from strategy.restore(ctx, d, 0, basedir)
+        restore_windows[ctx.rank] = (t0, ctx.engine.now)
+        return report
+
+    job.spawn(rank_main)
+    reports = job.run()
+    result = CheckpointResult(strategy.name, reports,
+                              params=strategy.describe(), fs_stats=fs.stats())
+    t0 = min(a for a, _b in restore_windows.values())
+    t1 = max(b for _a, b in restore_windows.values())
+    total = sum(data_fn(r).total_bytes for r in range(n_ranks))
+    return {
+        "checkpoint": result,
+        "restore_seconds": t1 - t0,
+        "restore_bandwidth": total / (t1 - t0) if t1 > t0 else float("inf"),
+        "per_rank_restore": {
+            r: b - a for r, (a, b) in restore_windows.items()
+        },
+    }

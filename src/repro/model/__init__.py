@@ -1,0 +1,11 @@
+"""Analytic models from the paper: Eq. 1 production time, Eqs. 2-7 speedup."""
+
+from ..ckpt.schedule import checkpoint_ratio, production_improvement
+from .speedup import SpeedupModel, blocked_processor_seconds
+
+__all__ = [
+    "checkpoint_ratio",
+    "production_improvement",
+    "SpeedupModel",
+    "blocked_processor_seconds",
+]

@@ -1,0 +1,133 @@
+"""Analytic speedup model of rbIO over coIO (paper Section V-C2, Eqs. 2-7).
+
+The paper quantifies rbIO's advantage by *total processor time blocked on
+I/O* per checkpoint step:
+
+    Speedup = T_coIO / T_rbIO                                        (2)
+    T_coIO  = np * S / BW_coIO                                       (3)
+    T_rbIO  = (np - ng) * (S/BW_p + lambda * S/BW_rbIO)
+              + ng * S / BW_rbIO                                     (4)
+
+where ``S`` is the checkpoint size, ``BW_p`` the perceived (Isend-side)
+bandwidth, and ``lambda`` the fraction of the writers' write time that
+workers remain blocked.  Substituting and using
+``(np - ng)/np ~ 1`` and ``BW_coIO / BW_p ~ 1e-6`` gives
+
+    Speedup ~ 1 / ((lambda + (ng/np)(1 - lambda)) * BW_coIO/BW_rbIO) (6)
+
+and, with NekCEM's lambda ~ 0 (writers drain between checkpoint steps),
+
+    Speedup ~ (np/ng) * BW_rbIO / BW_coIO.                           (7)
+
+:class:`SpeedupModel` evaluates all of these; benchmarks cross-check the
+model against blocked-time totals measured in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ckpt import CheckpointResult
+
+__all__ = ["SpeedupModel", "blocked_processor_seconds"]
+
+
+def blocked_processor_seconds(result: CheckpointResult) -> float:
+    """Total processor-seconds blocked on I/O in a measured checkpoint step.
+
+    For collective approaches this is every rank's full I/O window; for
+    rbIO it is the workers' Isend windows plus the writers' commit time —
+    exactly the quantity Eqs. (3)/(4) model.
+    """
+    blocked = (result.t_blocked_end - result.t_start).sum()
+    # Writers' commit time blocks the writer processors themselves.
+    writer_extra = 0.0
+    for i, role in enumerate(result.roles):
+        if role == "writer":
+            writer_extra += float(
+                result.t_complete[i] - result.t_blocked_end[i]
+            )
+    return float(blocked) + writer_extra
+
+
+@dataclass(frozen=True)
+class SpeedupModel:
+    """Parameters of the Eq. 2-7 model.
+
+    Bandwidths in bytes/second; ``lam`` is the paper's lambda (worker
+    blocking fraction of writer write time), ``~0`` for NekCEM.
+    """
+
+    np_ranks: int
+    ng_writers: int
+    bw_coio: float
+    bw_rbio: float
+    bw_perceived: float
+    lam: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.np_ranks < 1 or not 0 < self.ng_writers <= self.np_ranks:
+            raise ValueError("need 0 < ng <= np")
+        if min(self.bw_coio, self.bw_rbio, self.bw_perceived) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if not 0.0 <= self.lam <= 1.0:
+            raise ValueError("lambda must be in [0, 1]")
+
+    # -- blocked-time predictions (Eqs. 3 and 4) --------------------------
+    def t_coio(self, file_bytes: float) -> float:
+        """Eq. 3: total blocked processor-seconds under coIO."""
+        return self.np_ranks * file_bytes / self.bw_coio
+
+    def t_rbio(self, file_bytes: float) -> float:
+        """Eq. 4: total blocked processor-seconds under rbIO."""
+        workers = self.np_ranks - self.ng_writers
+        worker_term = workers * (
+            file_bytes / self.bw_perceived
+            + self.lam * file_bytes / self.bw_rbio
+        )
+        writer_term = self.ng_writers * file_bytes / self.bw_rbio
+        return worker_term + writer_term
+
+    # -- speedups -----------------------------------------------------------
+    def speedup_exact(self, file_bytes: float = 1.0) -> float:
+        """Eq. 5: T_coIO / T_rbIO (independent of S; S cancels)."""
+        return self.t_coio(file_bytes) / self.t_rbio(file_bytes)
+
+    def speedup_approx(self) -> float:
+        """Eq. 6: the paper's approximation (drops the BW_p term)."""
+        frac = self.ng_writers / self.np_ranks
+        return 1.0 / (
+            (self.lam + frac * (1.0 - self.lam)) * (self.bw_coio / self.bw_rbio)
+        )
+
+    def speedup_limit(self) -> float:
+        """Eq. 7: the lambda -> 0 limit, (np/ng) * BW_rbIO/BW_coIO."""
+        return (self.np_ranks / self.ng_writers) * (self.bw_rbio / self.bw_coio)
+
+    @classmethod
+    def from_results(cls, coio: CheckpointResult, rbio: CheckpointResult,
+                     lam: float = 0.0) -> "SpeedupModel":
+        """Extract model parameters from two measured checkpoint steps."""
+        ng = len(rbio.writer_ranks)
+        return cls(
+            np_ranks=rbio.n_ranks,
+            ng_writers=ng,
+            bw_coio=coio.write_bandwidth,
+            bw_rbio=rbio.write_bandwidth,
+            bw_perceived=rbio.perceived_bandwidth,
+            lam=lam,
+        )
+
+    def describe(self) -> dict:
+        """Model parameters and the three speedup figures."""
+        return {
+            "np": self.np_ranks,
+            "ng": self.ng_writers,
+            "bw_coio_gbps": self.bw_coio / 1e9,
+            "bw_rbio_gbps": self.bw_rbio / 1e9,
+            "bw_perceived_tbps": self.bw_perceived / 1e12,
+            "lambda": self.lam,
+            "speedup_eq5": self.speedup_exact(),
+            "speedup_eq6": self.speedup_approx(),
+            "speedup_eq7": self.speedup_limit(),
+        }

@@ -1,0 +1,417 @@
+"""Simulated MPI: messages, requests, communicators.
+
+This module provides the MPI subset that NekCEM-style checkpointing needs —
+point-to-point with nonblocking sends (the heart of rbIO), communicator
+splitting (the heart of split-collective coIO), and the control-plane
+collectives (barrier / bcast / gather / allgather / reduce / allreduce).
+
+Programming model
+-----------------
+Rank code is written as Python generators driven by the DES engine.  Each
+blocking MPI call is a generator used with ``yield from``; nonblocking calls
+return a :class:`Request` whose ``.event`` can be yielded::
+
+    def rank_main(ctx):
+        req = ctx.comm.isend(dest=0, nbytes=1 << 20, tag=7)
+        yield req.event                       # send buffer reusable
+        msg = yield from ctx.comm.recv(source=ANY_SOURCE, tag=7)
+        yield from ctx.comm.barrier()
+
+Semantics and costs
+-------------------
+- **Eager sends** (``nbytes <= eager_threshold`` or ``buffered=True``)
+  complete locally after a memory-bandwidth copy into the send buffer; the
+  data then moves through the fabric in the background.  This is the
+  mechanism rbIO exploits: ``MPI_Isend`` of a ~2.4 MB checkpoint block
+  returns in ~0.2 ms while the torus delivers it to the writer.
+- **Rendezvous sends** complete locally only when the transport has
+  delivered the data (receiver-not-ready stalls are not modelled; the
+  checkpoint protocols studied here always pre-post receivers).
+- **Collectives** are modelled analytically as binomial trees over the
+  partition topology rather than as explicit message storms: every rank
+  still synchronises on the same completion event (so *blocking structure*
+  is exact), but a 65,536-rank barrier costs O(np) simulator events instead
+  of O(np log np).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from ..network import Fabric
+from ..sim import Engine, Event, Store
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "Request",
+    "Communicator",
+    "CommView",
+    "MPIError",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class MPIError(RuntimeError):
+    """Raised on misuse of the simulated MPI interface."""
+
+
+class Message:
+    """A delivered point-to-point message."""
+
+    __slots__ = ("source", "tag", "nbytes", "payload", "sent_at", "delivered_at")
+
+    def __init__(self, source: int, tag: int, nbytes: int, payload: Any,
+                 sent_at: float, delivered_at: float) -> None:
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Message src={self.source} tag={self.tag} "
+            f"nbytes={self.nbytes} t={self.delivered_at:.6f}>"
+        )
+
+
+class Request:
+    """Handle for a nonblocking operation.
+
+    ``event`` triggers when the operation is locally complete (send buffer
+    reusable for sends; message available for receives).  ``issued_at``
+    records when the operation started, so callers can compute the paper's
+    *perceived* (Isend-completion) timings.
+    """
+
+    __slots__ = ("event", "issued_at", "kind")
+
+    def __init__(self, event: Event, issued_at: float, kind: str) -> None:
+        self.event = event
+        self.issued_at = issued_at
+        self.kind = kind
+
+    def wait(self):
+        """Generator: wait for completion, returning the event value."""
+        value = yield self.event
+        return value
+
+    @property
+    def complete(self) -> bool:
+        """Whether the operation has locally completed."""
+        return self.event.processed
+
+
+class _CollectiveOp:
+    """Shared state of one in-flight collective call on a communicator."""
+
+    __slots__ = ("name", "event", "arrived", "contrib", "root")
+
+    def __init__(self, name: str, size: int, event: Event, root: int) -> None:
+        self.name = name
+        self.event = event
+        self.arrived = 0
+        self.contrib: list = [None] * size
+        self.root = root
+
+
+class Communicator:
+    """Shared state of one MPI communicator (all member ranks).
+
+    User code interacts through per-rank :class:`CommView` objects; the
+    communicator owns mailboxes, collective-op bookkeeping, and the mapping
+    from communicator-local ranks to world ranks (used for routing).
+    """
+
+    _next_id = 0
+
+    def __init__(self, engine: Engine, fabric: Fabric, world_ranks: list[int]) -> None:
+        if not world_ranks:
+            raise MPIError("communicator needs at least one rank")
+        self.engine = engine
+        self.fabric = fabric
+        self.world_ranks = list(world_ranks)
+        self.size = len(world_ranks)
+        self._local_of_world = {w: i for i, w in enumerate(self.world_ranks)}
+        self.mailboxes = [Store(engine) for _ in range(self.size)]
+        self._coll_ops: dict[int, _CollectiveOp] = {}
+        self._coll_seq = [0] * self.size
+        self.id = Communicator._next_id
+        Communicator._next_id += 1
+        # Binomial-tree depth and an effective per-stage latency for the
+        # analytic collective model.
+        self._depth = max(1, math.ceil(math.log2(self.size))) if self.size > 1 else 0
+        cfg = fabric.config
+        self._stage_latency = cfg.mpi_overhead + (
+            cfg.torus_hop_latency * max(1, fabric.topology.max_hops() // 2)
+        )
+        self._link_bw = cfg.torus_link_bandwidth * cfg.torus_links_per_node
+
+    def view(self, local_rank: int) -> "CommView":
+        """The per-rank handle for ``local_rank`` on this communicator."""
+        if not 0 <= local_rank < self.size:
+            raise MPIError(f"rank {local_rank} out of range for size {self.size}")
+        return CommView(self, local_rank)
+
+    def local_rank_of(self, world_rank: int) -> int:
+        """Translate a world rank to this communicator's numbering."""
+        try:
+            return self._local_of_world[world_rank]
+        except KeyError:
+            raise MPIError(f"world rank {world_rank} not in communicator") from None
+
+    # -- collective machinery (called from CommView) ------------------------
+    def _collective_enter(self, name: str, local_rank: int, contrib: Any,
+                          root: int) -> tuple[_CollectiveOp, bool]:
+        """Register a rank's arrival at its next collective call.
+
+        Returns ``(op, is_last)``.  Raises if ranks disagree about which
+        collective is being called (SPMD ordering violation).
+        """
+        seq = self._coll_seq[local_rank]
+        self._coll_seq[local_rank] = seq + 1
+        op = self._coll_ops.get(seq)
+        if op is None:
+            op = _CollectiveOp(name, self.size, Event(self.engine), root)
+            self._coll_ops[seq] = op
+        elif op.name != name or op.root != root:
+            raise MPIError(
+                f"collective mismatch at seq {seq}: rank {local_rank} called "
+                f"{name}(root={root}) but op is {op.name}(root={op.root})"
+            )
+        op.contrib[local_rank] = contrib
+        op.arrived += 1
+        is_last = op.arrived == self.size
+        if is_last:
+            del self._coll_ops[seq]
+        return op, is_last
+
+    def _finish_after(self, op: _CollectiveOp, delay: float, result: Any) -> None:
+        """Trigger a collective's completion event after ``delay``."""
+        if delay <= 0:
+            op.event.succeed(result)
+        else:
+            self.engine.timeout(delay).add_callback(
+                lambda _ev, op=op, result=result: op.event.succeed(result)
+            )
+
+    def tree_time(self, nbytes_per_stage: float = 0.0, stages: Optional[int] = None) -> float:
+        """Analytic binomial-tree traversal time for the collective model."""
+        depth = self._depth if stages is None else stages
+        per_stage = self._stage_latency + nbytes_per_stage / self._link_bw
+        return depth * per_stage
+
+
+class CommView:
+    """Per-rank handle to a :class:`Communicator` — the user-facing MPI API."""
+
+    __slots__ = ("comm", "rank")
+
+    def __init__(self, comm: Communicator, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self.comm.size
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's id in the world communicator (used for routing)."""
+        return self.comm.world_ranks[self.rank]
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def isend(self, dest: int, nbytes: int, tag: int = 0, payload: Any = None,
+              buffered: bool = False) -> Request:
+        """Nonblocking send of ``nbytes`` to communicator rank ``dest``.
+
+        With ``buffered=True`` (or small messages) the returned request
+        completes after a local memory copy — the rbIO fast path.
+        """
+        comm = self.comm
+        if not 0 <= dest < comm.size:
+            raise MPIError(f"isend dest {dest} out of range (size {comm.size})")
+        if nbytes < 0:
+            raise MPIError(f"negative message size {nbytes}")
+        eng = comm.engine
+        fabric = comm.fabric
+        cfg = fabric.config
+        issued_at = eng.now
+        src_world = comm.world_ranks[self.rank]
+        dst_world = comm.world_ranks[dest]
+        eager = buffered or nbytes <= cfg.eager_threshold
+
+        transport = fabric.transfer(src_world, dst_world, nbytes)
+        mailbox = comm.mailboxes[dest]
+        source_local = self.rank
+
+        def deliver(_ev, mailbox=mailbox, source_local=source_local, tag=tag,
+                    nbytes=nbytes, payload=payload, issued_at=issued_at, eng=eng):
+            mailbox.put(Message(source_local, tag, nbytes, payload, issued_at, eng.now))
+
+        transport.add_callback(deliver)
+
+        if eager:
+            # Local completion: buffer copy at memory bandwidth plus the
+            # per-message software overhead.
+            copy = cfg.mpi_overhead + fabric.local_copy_time(nbytes)
+            local_done = eng.timeout(copy)
+        else:
+            local_done = transport
+        return Request(local_done, issued_at, "isend")
+
+    def send(self, dest: int, nbytes: int, tag: int = 0, payload: Any = None):
+        """Blocking send (generator): returns when send buffer is reusable."""
+        req = self.isend(dest, nbytes, tag=tag, payload=payload)
+        yield req.event
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; the request completes with a :class:`Message`."""
+        comm = self.comm
+        if source != ANY_SOURCE and not 0 <= source < comm.size:
+            raise MPIError(f"irecv source {source} out of range")
+        if source == ANY_SOURCE and tag == ANY_TAG:
+            flt = None
+        else:
+            def flt(m, source=source, tag=tag):
+                return (source == ANY_SOURCE or m.source == source) and (
+                    tag == ANY_TAG or m.tag == tag
+                )
+        ev = comm.mailboxes[self.rank].get(flt)
+        return Request(ev, comm.engine.now, "irecv")
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive (generator): returns the matched :class:`Message`.
+
+        Includes the receiver-side copy of the message body at memory
+        bandwidth.
+        """
+        comm = self.comm
+        msg = yield self.irecv(source, tag).event
+        copy = comm.fabric.local_copy_time(msg.nbytes)
+        if copy > 0:
+            yield comm.engine.timeout(copy)
+        return msg
+
+    def waitall(self, requests: list[Request]):
+        """Generator: wait for all requests; returns their values in order."""
+        if not requests:
+            return []
+        values = yield self.comm.engine.all_of([r.event for r in requests])
+        return values
+
+    # ------------------------------------------------------------------
+    # Collectives (analytic-cost, exact blocking structure)
+    # ------------------------------------------------------------------
+    def barrier(self):
+        """Generator: block until every rank of the communicator arrives."""
+        comm = self.comm
+        op, is_last = comm._collective_enter("barrier", self.rank, None, 0)
+        if is_last:
+            comm._finish_after(op, 2 * comm.tree_time(), None)
+        yield op.event
+
+    def bcast(self, value: Any = None, root: int = 0, nbytes: int = 0):
+        """Generator: broadcast ``value`` (and ``nbytes`` of data) from root."""
+        comm = self.comm
+        contrib = value if self.rank == root else None
+        op, is_last = comm._collective_enter("bcast", self.rank, contrib, root)
+        if is_last:
+            comm._finish_after(op, comm.tree_time(nbytes), op.contrib[root])
+        result = yield op.event
+        return result
+
+    def gather(self, value: Any, root: int = 0, nbytes: int = 0):
+        """Generator: gather per-rank ``value``s to root (others get None)."""
+        comm = self.comm
+        op, is_last = comm._collective_enter("gather", self.rank, value, root)
+        if is_last:
+            delay = comm.tree_time() + (comm.size - 1) * nbytes / comm._link_bw
+            comm._finish_after(op, delay, list(op.contrib))
+        result = yield op.event
+        return result if self.rank == root else None
+
+    def allgather(self, value: Any, nbytes: int = 0,
+                  map_fn: Optional[Callable[[list], Any]] = None):
+        """Generator: gather per-rank ``value``s to every rank.
+
+        ``map_fn``, if given, transforms the gathered list exactly once (at
+        completion); every rank receives the same transformed object.  Large
+        collectives use this to build shared index structures without
+        per-rank rework.
+        """
+        comm = self.comm
+        op, is_last = comm._collective_enter("allgather", self.rank, value, 0)
+        if is_last:
+            delay = 2 * comm.tree_time(nbytes)
+            result = list(op.contrib)
+            if map_fn is not None:
+                result = map_fn(result)
+            comm._finish_after(op, delay, result)
+        result = yield op.event
+        return result
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None, root: int = 0):
+        """Generator: reduce per-rank values to root with binary ``op`` (default +)."""
+        comm = self.comm
+        cop, is_last = comm._collective_enter("reduce", self.rank, value, root)
+        if is_last:
+            fn = op if op is not None else (lambda a, b: a + b)
+            acc = cop.contrib[0]
+            for v in cop.contrib[1:]:
+                acc = fn(acc, v)
+            comm._finish_after(cop, comm.tree_time(), acc)
+        result = yield cop.event
+        return result if self.rank == root else None
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None):
+        """Generator: reduce per-rank values and distribute the result."""
+        comm = self.comm
+        cop, is_last = comm._collective_enter("allreduce", self.rank, value, 0)
+        if is_last:
+            fn = op if op is not None else (lambda a, b: a + b)
+            acc = cop.contrib[0]
+            for v in cop.contrib[1:]:
+                acc = fn(acc, v)
+            comm._finish_after(cop, 2 * comm.tree_time(), acc)
+        result = yield cop.event
+        return result
+
+    def split(self, color: int, key: Optional[int] = None):
+        """Generator: partition the communicator by ``color`` (MPI_Comm_split).
+
+        Returns this rank's :class:`CommView` on its new sub-communicator.
+        Ranks within a colour are ordered by ``key`` (default: current rank).
+        """
+        comm = self.comm
+        key = self.rank if key is None else key
+        contrib = (color, key, self.rank)
+        op, is_last = comm._collective_enter("split", self.rank, contrib, 0)
+        if is_last:
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for c, k, r in op.contrib:
+                groups.setdefault(c, []).append((k, r))
+            subcomms: dict[int, Communicator] = {}
+            member_view: dict[int, CommView] = {}
+            for c, members in groups.items():
+                members.sort()
+                world = [comm.world_ranks[r] for _k, r in members]
+                sub = Communicator(comm.engine, comm.fabric, world)
+                subcomms[c] = sub
+                for local, (_k, r) in enumerate(members):
+                    member_view[r] = sub.view(local)
+            comm._finish_after(op, 2 * comm.tree_time(), member_view)
+        views = yield op.event
+        return views[self.rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CommView rank {self.rank}/{self.size} comm #{self.comm.id}>"

@@ -1,0 +1,142 @@
+"""Job launcher: assembles a partition and runs SPMD rank generators.
+
+A :class:`Job` owns one DES engine, the torus fabric for the partition, and
+the world communicator.  ``spawn`` starts one generator per rank (the SPMD
+program); ``run`` drives the engine until every rank finishes and returns
+the per-rank results.
+
+Higher layers (storage, profiling, the NekCEM driver) attach their per-job
+services to the job and their per-rank clients to each :class:`RankContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..network import Fabric
+from ..sim import Engine, StreamRegistry
+from ..topology import MachineConfig, intrepid
+from .core import Communicator, CommView
+
+__all__ = ["Job", "RankContext", "run_spmd"]
+
+
+class RankContext:
+    """Everything one simulated MPI rank can see.
+
+    Attributes
+    ----------
+    rank:
+        World rank id.
+    comm:
+        :class:`~repro.mpi.core.CommView` on the world communicator.
+    job:
+        The owning :class:`Job` (engine, fabric, machine config).
+    fs:
+        Per-rank file-system client, attached by :mod:`repro.storage`.
+    profiler:
+        Per-rank I/O profiler, attached by :mod:`repro.profiling`.
+    """
+
+    __slots__ = ("rank", "comm", "job", "fs", "profiler", "user")
+
+    def __init__(self, rank: int, comm: CommView, job: "Job") -> None:
+        self.rank = rank
+        self.comm = comm
+        self.job = job
+        self.fs = None
+        self.profiler = None
+        self.user: dict[str, Any] = {}
+
+    @property
+    def engine(self) -> Engine:
+        """The job's simulation engine (for ``ctx.engine.now`` etc.)."""
+        return self.job.engine
+
+    @property
+    def config(self) -> MachineConfig:
+        """The machine configuration."""
+        return self.job.config
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RankContext rank={self.rank}/{self.comm.size}>"
+
+
+class Job:
+    """One simulated parallel job on a partition of the machine.
+
+    Parameters
+    ----------
+    n_ranks:
+        Partition size in MPI ranks (cores).
+    config:
+        Machine constants; defaults to the calibrated Intrepid preset.
+    seed:
+        Overrides ``config.seed`` for the job's random streams.
+    """
+
+    def __init__(self, n_ranks: int, config: Optional[MachineConfig] = None,
+                 seed: Optional[int] = None) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"need at least one rank, got {n_ranks}")
+        self.config = config if config is not None else intrepid()
+        self.n_ranks = n_ranks
+        self.engine = Engine()
+        self.fabric = Fabric(self.engine, self.config, n_ranks)
+        self.streams = StreamRegistry(self.config.seed if seed is None else seed)
+        self.world = Communicator(self.engine, self.fabric, list(range(n_ranks)))
+        self.contexts = [
+            RankContext(r, self.world.view(r), self) for r in range(n_ranks)
+        ]
+        self._rank_procs: list = []
+        self.services: dict[str, Any] = {}
+
+    def spawn(self, rank_fn: Callable, *args, ranks: Optional[list[int]] = None) -> None:
+        """Start ``rank_fn(ctx, *args)`` as a process on each rank.
+
+        ``rank_fn`` must be a generator function (the SPMD program).  By
+        default every rank runs it; pass ``ranks`` to restrict.
+        """
+        targets = range(self.n_ranks) if ranks is None else ranks
+        for r in targets:
+            ctx = self.contexts[r]
+            proc = self.engine.process(rank_fn(ctx, *args), name=f"rank{r}")
+            self._rank_procs.append((r, proc))
+
+    def run(self, until: Optional[float] = None) -> dict[int, Any]:
+        """Drive the simulation to completion; return per-rank results.
+
+        Raises if any rank process failed (its exception propagates) or, for
+        ``until=None``, if some rank never finished (deadlock diagnosis).
+        """
+        self.engine.run(until=until)
+        results: dict[int, Any] = {}
+        stuck = []
+        for r, proc in self._rank_procs:
+            if proc.is_alive:
+                stuck.append(r)
+            else:
+                results[r] = proc.value
+        if stuck and until is None:
+            preview = ", ".join(map(str, stuck[:8]))
+            raise RuntimeError(
+                f"{len(stuck)} rank(s) never finished (deadlock?): ranks {preview}..."
+            )
+        return results
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.engine.now
+
+
+def run_spmd(rank_fn: Callable, n_ranks: int,
+             config: Optional[MachineConfig] = None, *args,
+             seed: Optional[int] = None) -> dict[int, Any]:
+    """Convenience: build a :class:`Job`, run ``rank_fn`` on all ranks.
+
+    Returns the per-rank return values.
+    """
+    job = Job(n_ranks, config=config, seed=seed)
+    job.spawn(rank_fn, *args)
+    return job.run()

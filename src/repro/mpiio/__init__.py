@@ -1,0 +1,14 @@
+"""ROMIO-like MPI-IO layer: collective buffering, file domains, hints."""
+
+from .aggregation import FileDomains, RegionMap, pick_aggregators
+from .file import MPIFile, SplitRequest
+from .hints import Hints
+
+__all__ = [
+    "FileDomains",
+    "RegionMap",
+    "pick_aggregators",
+    "MPIFile",
+    "SplitRequest",
+    "Hints",
+]

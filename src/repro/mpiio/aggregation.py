@@ -1,0 +1,167 @@
+"""Two-phase collective-buffering geometry: regions, file domains, aggregators.
+
+ROMIO's collective write works in two phases: ranks exchange their access
+regions, the file's touched range is partitioned into one contiguous *file
+domain* per aggregator (aligned to file-system blocks on Blue Gene), data is
+shuffled so each aggregator holds exactly its domain, and aggregators commit
+to the file system.  This module implements the geometry; the data movement
+lives in :class:`repro.mpiio.file.MPIFile`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RegionMap", "FileDomains", "pick_aggregators"]
+
+
+class RegionMap:
+    """The gathered per-rank access regions of one collective write call.
+
+    Built exactly once per collective call (via ``allgather(map_fn=...)``)
+    and shared read-only by all participants, so a 65,536-rank collective
+    costs one index construction, not 65,536.
+    """
+
+    __slots__ = ("offsets", "ends", "ranks", "lo", "hi")
+
+    def __init__(self, regions: list[tuple[int, int]]) -> None:
+        offs = np.fromiter((r[0] for r in regions), dtype=np.int64, count=len(regions))
+        lens = np.fromiter((r[1] for r in regions), dtype=np.int64, count=len(regions))
+        order = np.argsort(offs, kind="stable")
+        self.offsets = offs[order]
+        self.ends = self.offsets + lens[order]
+        self.ranks = order.astype(np.int64)
+        active = lens[order] > 0
+        self.lo = int(self.offsets[active].min()) if active.any() else 0
+        self.hi = int(self.ends[active].max()) if active.any() else 0
+
+    @property
+    def size(self) -> int:
+        """Number of participating ranks."""
+        return len(self.ranks)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all region lengths."""
+        return int((self.ends - self.offsets).sum())
+
+    def senders_overlapping(self, lo: int, hi: int) -> list[tuple[int, int, int]]:
+        """Ranks whose region intersects ``[lo, hi)``.
+
+        Returns ``(rank, overlap_lo, overlap_hi)`` triples.  O(log n + k)
+        via binary search on the sorted offsets (regions from checkpoint
+        writes are non-overlapping and near-sorted).
+        """
+        if hi <= lo:
+            return []
+        # Candidate window: regions starting before hi...
+        j = int(np.searchsorted(self.offsets, hi, side="left"))
+        out = []
+        # ...scan backwards while regions can still overlap.  Checkpoint
+        # regions are contiguous per rank and non-overlapping, so once
+        # region end <= lo for a few consecutive entries we can stop; to be
+        # robust to unequal sizes we scan until offsets drop below
+        # lo - max_len, bounded by the window start.
+        i = j - 1
+        while i >= 0:
+            o = int(self.offsets[i])
+            e = int(self.ends[i])
+            if e > lo and e > o:
+                out.append((int(self.ranks[i]), max(o, lo), min(e, hi)))
+            elif e == o:
+                # Zero-length region: contributes nothing but must not end
+                # the scan (it can sit at the same offset as a real region).
+                pass
+            else:
+                # Non-empty region ending at/before lo: with non-overlapping
+                # regions every earlier non-empty region also ends there.
+                break
+            i -= 1
+        out.reverse()
+        return out
+
+
+class FileDomains:
+    """Partition of a byte range into per-aggregator file domains.
+
+    With ``align=True`` (BG/P ROMIO behaviour) every interior domain
+    boundary is rounded up to an *absolute* file-system block multiple, so
+    no two aggregators ever write the same block — the Liao & Choudhary
+    alignment optimization that avoids lock conflicts and read-modify-write
+    on GPFS.  Unaligned mode splits the range evenly by bytes (the classic
+    ROMIO default), placing boundaries mid-block.
+
+    Boundaries are computed arithmetically (O(1) per query), which matters
+    when 65,536 ranks each consult the same partition.
+    """
+
+    __slots__ = ("lo", "hi", "n_domains", "block_size", "align", "_chunk")
+
+    def __init__(self, lo: int, hi: int, n_domains: int,
+                 block_size: int, align: bool = True) -> None:
+        if hi < lo:
+            raise ValueError(f"inverted range [{lo}, {hi})")
+        if n_domains < 1:
+            raise ValueError("need at least one domain")
+        self.lo = lo
+        self.hi = hi
+        self.n_domains = n_domains
+        self.block_size = max(int(block_size), 1)
+        self.align = align
+        span = hi - lo
+        self._chunk = max(-(-span // n_domains), 1) if span else 1
+
+    def _boundary(self, k: int) -> int:
+        """Absolute file offset of the boundary before domain ``k``."""
+        if k <= 0:
+            return self.lo
+        if k >= self.n_domains:
+            return self.hi
+        b = self.lo + k * self._chunk
+        if self.align:
+            bs = self.block_size
+            b = -(-b // bs) * bs
+        return min(b, self.hi)
+
+    def domain(self, k: int) -> tuple[int, int]:
+        """Byte range ``[lo, hi)`` of domain ``k`` (may be empty)."""
+        if not 0 <= k < self.n_domains:
+            raise ValueError(f"domain {k} out of range")
+        return (self._boundary(k), self._boundary(k + 1))
+
+    def domains_overlapping(self, lo: int, hi: int) -> range:
+        """Indices of domains intersecting ``[lo, hi)``.
+
+        O(1): estimates the first/last indices from the raw chunk size and
+        corrects for alignment rounding locally.
+        """
+        if hi <= lo or lo >= self.hi or hi <= self.lo:
+            return range(0)
+        lo = max(lo, self.lo)
+        hi = min(hi, self.hi)
+        # Estimate, then walk (alignment moves boundaries < one block).
+        first = max(0, min(self.n_domains - 1, (lo - self.lo) // self._chunk))
+        while first > 0 and self._boundary(first) > lo:
+            first -= 1
+        while first < self.n_domains - 1 and self._boundary(first + 1) <= lo:
+            first += 1
+        last = max(0, min(self.n_domains - 1, (hi - 1 - self.lo) // self._chunk))
+        while last < self.n_domains - 1 and self._boundary(last + 1) < hi:
+            last += 1
+        while last > 0 and self._boundary(last) >= hi:
+            last -= 1
+        return range(int(first), int(last) + 1)
+
+
+def pick_aggregators(comm_size: int, n_aggregators: int) -> list[int]:
+    """Evenly spread aggregator ranks over the communicator.
+
+    Mirrors the BG/P placement rule: aggregators are distributed over the
+    topology so no node hosts more than one (rank striding achieves this
+    under block rank-to-node placement).
+    """
+    if n_aggregators < 1 or n_aggregators > comm_size:
+        raise ValueError(f"bad aggregator count {n_aggregators} for size {comm_size}")
+    stride = comm_size // n_aggregators
+    return [k * stride for k in range(n_aggregators)]

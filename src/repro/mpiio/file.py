@@ -1,0 +1,256 @@
+"""MPI-IO file interface: open, independent and collective writes, close.
+
+Implements the ROMIO subset the paper's three checkpoint approaches use:
+
+- ``MPI_File_open`` — collective create/open over a communicator
+  (:meth:`MPIFile.open`), or independent ``MPI_COMM_SELF`` open
+  (:meth:`MPIFile.open_independent`, the rbIO nf=ng writer path).
+- ``MPI_File_write_at`` — independent write (:meth:`MPIFile.write_at`).
+- ``MPI_File_write_at_all_begin`` / ``_end`` — split-collective two-phase
+  write (:meth:`MPIFile.write_at_all_begin` / :meth:`write_at_all_end`),
+  with :meth:`write_at_all` as the blocking composition.
+- ``MPI_File_close`` — collective close.
+
+The collective write follows BG/P ROMIO: access regions are exchanged, the
+touched range is split into block-aligned file domains, one per designated
+aggregator (``Hints.ranks_per_aggregator``, default 1:32), data is shuffled
+point-to-point to aggregators, and each aggregator commits its domain in
+``cb_buffer_size`` bursts.  All participants synchronize before returning —
+the collective blocking the paper's rbIO is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mpi import CommView, RankContext
+from ..sim import Process
+from ..storage import FSClient, FileHandle
+from .aggregation import FileDomains, RegionMap, pick_aggregators
+from .hints import Hints
+
+__all__ = ["MPIFile", "SplitRequest"]
+
+_SHUFFLE_TAG_BASE = 1 << 20
+
+
+class SplitRequest:
+    """Outstanding split-collective write (returned by write_at_all_begin)."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+
+    @property
+    def complete(self) -> bool:
+        """Whether the split collective has finished."""
+        return not self.process.is_alive
+
+
+class MPIFile:
+    """An open MPI-IO file as seen by one rank.
+
+    Construct via the generator classmethods :meth:`open` (collective) or
+    :meth:`open_independent` (``MPI_COMM_SELF``).
+    """
+
+    def __init__(self, comm: Optional[CommView], fs: FSClient,
+                 handle: FileHandle, path: str, hints: Hints) -> None:
+        self.comm = comm
+        self.fs = fs
+        self.handle = handle
+        self.path = path
+        self.hints = hints
+        self._call_seq = 0
+        self._staged: dict[int, list] = {}
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, ctx: RankContext, comm: CommView, path: str,
+             hints: Optional[Hints] = None):
+        """Generator: collective create-or-open over ``comm``.
+
+        Rank 0 of the communicator creates the file; everyone else opens it
+        after a barrier (ROMIO's shared-file open protocol).
+        """
+        hints = hints or Hints()
+        if comm.size == 1:
+            handle = yield from ctx.fs.create(path)
+            return cls(comm, ctx.fs, handle, path, hints)
+        if comm.rank == 0:
+            handle = yield from ctx.fs.create(path)
+            yield from comm.barrier()
+        else:
+            yield from comm.barrier()
+            handle = yield from ctx.fs.open(path, write=True)
+        return cls(comm, ctx.fs, handle, path, hints)
+
+    @classmethod
+    def open_independent(cls, ctx: RankContext, path: str,
+                         hints: Optional[Hints] = None):
+        """Generator: independent (MPI_COMM_SELF) create of ``path``.
+
+        This is the rbIO nf=ng writer path: one sole-owner file per writer,
+        no collective synchronization, no shared-file lock traffic.
+        """
+        handle = yield from ctx.fs.create(path)
+        return cls(None, ctx.fs, handle, path, hints or Hints())
+
+    # ------------------------------------------------------------------
+    # Independent I/O
+    # ------------------------------------------------------------------
+    def write_at(self, offset: int, nbytes: int, payload: Optional[bytes] = None):
+        """Generator: independent write (MPI_File_write_at)."""
+        self._check_open()
+        yield from self.fs.write(self.handle, offset, nbytes, payload=payload)
+
+    def read_at(self, offset: int, nbytes: int):
+        """Generator: independent read; returns stored bytes."""
+        self._check_open()
+        data = yield from self.fs.read(self.handle, offset, nbytes)
+        return data
+
+    # ------------------------------------------------------------------
+    # Collective I/O
+    # ------------------------------------------------------------------
+    def write_at_all(self, offset: int, nbytes: int, payload: Optional[bytes] = None):
+        """Generator: blocking collective write (two-phase)."""
+        req = self.write_at_all_begin(offset, nbytes, payload)
+        yield from self.write_at_all_end(req)
+
+    def write_at_all_begin(self, offset: int, nbytes: int,
+                           payload: Optional[bytes] = None) -> SplitRequest:
+        """Start a split-collective write; returns a :class:`SplitRequest`.
+
+        Every rank of the file's communicator must call begin (and later
+        end) in the same order.
+        """
+        self._check_open()
+        if self.comm is None:
+            raise RuntimeError("collective write on an independently opened file")
+        seq = self._call_seq
+        self._call_seq += 1
+        proc = self.fs.fs.engine.process(
+            self._two_phase(seq, offset, nbytes, payload),
+            name=f"waa-{self.path}-{seq}-r{self.comm.rank}",
+        )
+        return SplitRequest(proc)
+
+    def write_at_all_end(self, req: SplitRequest):
+        """Generator: complete a split-collective write."""
+        yield req.process
+
+    def _two_phase(self, seq: int, offset: int, nbytes: int,
+                   payload: Optional[bytes]):
+        """The two-phase collective write, executed per rank."""
+        comm = self.comm
+        cfg = self.fs.fs.config
+        hints = self.hints
+        tag = _SHUFFLE_TAG_BASE + seq
+
+        # Phase 0: exchange access regions (one shared RegionMap built).
+        regions: RegionMap = yield from comm.allgather(
+            (offset, nbytes), nbytes=16, map_fn=RegionMap
+        )
+        if regions.hi <= regions.lo:
+            # Nothing to write anywhere: still synchronize.
+            yield from comm.barrier()
+            return
+
+        n_aggs = hints.n_aggregators(comm.size)
+        domains = FileDomains(
+            regions.lo, regions.hi, n_aggs,
+            cfg.fs_block_size, align=hints.align_file_domains,
+        )
+        aggregators = pick_aggregators(comm.size, n_aggs)
+
+        # Phase 1: shuffle — send my data to the aggregator(s) owning it.
+        send_reqs = []
+        if nbytes > 0:
+            my_lo, my_hi = offset, offset + nbytes
+            for k in domains.domains_overlapping(my_lo, my_hi):
+                dlo, dhi = domains.domain(k)
+                lo = max(my_lo, dlo)
+                hi = min(my_hi, dhi)
+                if hi <= lo:
+                    continue
+                dest = aggregators[k]
+                part = None
+                if payload is not None:
+                    part = payload[lo - my_lo : hi - my_lo]
+                if dest == comm.rank:
+                    # Self-contribution: no message needed.
+                    self._stage_local(tag, lo, hi, part)
+                else:
+                    send_reqs.append(
+                        comm.isend(dest, hi - lo, tag=tag,
+                                   payload=(lo, hi, part))
+                    )
+
+        # Phase 2: aggregators receive their domain and commit it.
+        my_agg_index = None
+        if comm.rank in aggregators:
+            my_agg_index = aggregators.index(comm.rank)
+        if my_agg_index is not None:
+            dlo, dhi = domains.domain(my_agg_index)
+            senders = regions.senders_overlapping(dlo, dhi)
+            pieces: list[tuple[int, int, Optional[bytes]]] = self._staged.pop(tag, [])
+            expected = [s for s in senders if s[0] != comm.rank]
+            for src, _lo, _hi in expected:
+                msg = yield from comm.recv(source=src, tag=tag)
+                pieces.append(msg.payload)
+            yield from self._commit_domain(dlo, dhi, pieces)
+
+        if send_reqs:
+            yield from comm.waitall(send_reqs)
+        yield from comm.barrier()
+
+    def _stage_local(self, tag: int, lo: int, hi: int, part: Optional[bytes]) -> None:
+        """Stage this rank's own contribution for its aggregator role."""
+        self._staged.setdefault(tag, []).append((lo, hi, part))
+
+    def _commit_domain(self, dlo: int, dhi: int,
+                       pieces: list[tuple[int, int, Optional[bytes]]]):
+        """Aggregator side: write the covered part of the domain in bursts."""
+        if not pieces:
+            return
+        pieces.sort(key=lambda p: p[0])
+        lo = pieces[0][0]
+        hi = max(p[1] for p in pieces)
+        have_payload = any(p[2] is not None for p in pieces)
+        data: Optional[bytes] = None
+        if have_payload:
+            buf = bytearray(hi - lo)
+            for plo, phi, part in pieces:
+                if part is not None:
+                    buf[plo - lo : plo - lo + len(part)] = part
+            data = bytes(buf)
+        # Commit in collective-buffer-sized bursts.
+        cb = self.hints.cb_buffer_size
+        pos = lo
+        while pos < hi:
+            burst = min(cb, hi - pos)
+            chunk = data[pos - lo : pos - lo + burst] if data is not None else None
+            yield from self.fs.write(self.handle, pos, burst, payload=chunk)
+            pos += burst
+
+    # ------------------------------------------------------------------
+    # Closing
+    # ------------------------------------------------------------------
+    def close(self):
+        """Generator: close the file (collective when opened collectively)."""
+        self._check_open()
+        self.closed = True
+        if self.comm is not None and self.comm.size > 1:
+            yield from self.comm.barrier()
+        yield from self.fs.close(self.handle)
+        if self.comm is not None and self.comm.size > 1:
+            yield from self.comm.barrier()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"operation on closed MPI file {self.path!r}")

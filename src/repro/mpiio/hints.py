@@ -1,0 +1,53 @@
+"""MPI-IO hints (the tunables the paper adjusts on Blue Gene).
+
+The Blue Gene MPI-IO library exposes collective-buffering controls through
+hints; the two that matter for the paper are the aggregator ratio
+(``bgp_nodes_pset``: how many ranks share one I/O aggregator — default one
+aggregator per 32 MPI processes in virtual-node mode) and file-domain
+alignment to file-system block boundaries (which avoids lock conflicts on
+GPFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Hints"]
+
+
+@dataclass(frozen=True)
+class Hints:
+    """Collective-buffering hints for one MPI-IO file.
+
+    Parameters
+    ----------
+    ranks_per_aggregator:
+        One I/O aggregator is designated per this many ranks of the file's
+        communicator (ROMIO's ``bgp_nodes_pset`` behaviour; BG/P VN-mode
+        default is 32).
+    align_file_domains:
+        Round file-domain boundaries up to file-system block multiples,
+        the BG/P ROMIO alignment optimization (Liao & Choudhary, SC'08).
+        Turning this off is the alignment ablation.
+    cb_buffer_size:
+        Collective buffer size per aggregator.  Domains larger than this
+        are committed in multiple bursts.
+    """
+
+    ranks_per_aggregator: int = 32
+    align_file_domains: bool = True
+    cb_buffer_size: int = 16 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.ranks_per_aggregator < 1:
+            raise ValueError("ranks_per_aggregator must be >= 1")
+        if self.cb_buffer_size < 1:
+            raise ValueError("cb_buffer_size must be >= 1")
+
+    def n_aggregators(self, comm_size: int) -> int:
+        """Number of aggregators designated for a communicator."""
+        return max(1, comm_size // self.ranks_per_aggregator)
+
+    def with_(self, **changes) -> "Hints":
+        """Copy with fields replaced."""
+        return replace(self, **changes)

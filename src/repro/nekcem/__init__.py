@@ -1,0 +1,63 @@
+"""NekCEM-like SEDG Maxwell application: basis, mesh, solver, I/O, drivers."""
+
+from .app import (
+    NekCEMApp,
+    ParallelRunResult,
+    SOLVER_FLOPS_PER_POINT_STEP,
+    checkpoint_data_to_fields,
+    compute_seconds_per_step,
+    fields_to_checkpoint_data,
+    gather_slab_states,
+    run_parallel_solver,
+)
+from .basis import (
+    differentiation_matrix,
+    gll_points_weights,
+    lagrange_interpolation_matrix,
+)
+from .expint import KrylovExpIntegrator
+from .genmap import (
+    partition_linear,
+    partition_rcb,
+    partition_stats,
+    read_map,
+    write_map,
+)
+from .maxwell import GhostFaces, MaxwellSolver
+from .mesh import HexMesh, box_mesh, read_rea, waveguide_mesh, write_rea
+from .rk4 import LSRK4, RK4A, RK4B, RK4C
+from .vtk import gll_hex_cells, read_vtk, write_vtk
+
+__all__ = [
+    "NekCEMApp",
+    "ParallelRunResult",
+    "SOLVER_FLOPS_PER_POINT_STEP",
+    "checkpoint_data_to_fields",
+    "compute_seconds_per_step",
+    "fields_to_checkpoint_data",
+    "gather_slab_states",
+    "run_parallel_solver",
+    "differentiation_matrix",
+    "gll_points_weights",
+    "lagrange_interpolation_matrix",
+    "partition_linear",
+    "partition_rcb",
+    "partition_stats",
+    "read_map",
+    "write_map",
+    "GhostFaces",
+    "MaxwellSolver",
+    "HexMesh",
+    "box_mesh",
+    "read_rea",
+    "waveguide_mesh",
+    "write_rea",
+    "KrylovExpIntegrator",
+    "LSRK4",
+    "RK4A",
+    "RK4B",
+    "RK4C",
+    "gll_hex_cells",
+    "read_vtk",
+    "write_vtk",
+]

@@ -1,0 +1,131 @@
+"""Spectral-element basis: Gauss-Lobatto-Legendre nodes, weights, operators.
+
+NekCEM discretizes each hexahedral element with tensor products of 1-D
+Lagrange interpolation polynomials on the Gauss-Lobatto-Legendre (GLL)
+points.  GLL quadrature makes the mass matrix diagonal (no inversion cost)
+and the stiffness matrix a tensor product of the 1-D differentiation matrix
+— the structure this module provides:
+
+- :func:`gll_points_weights` — nodes/weights on [-1, 1];
+- :func:`differentiation_matrix` — the nodal derivative operator ``D``;
+- :func:`lagrange_interpolation_matrix` — evaluation at arbitrary points.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "gll_points_weights",
+    "differentiation_matrix",
+    "lagrange_interpolation_matrix",
+]
+
+
+def _legendre(n: int, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Legendre polynomial P_n and derivative P'_n by the usual recurrence."""
+    p0 = np.ones_like(x)
+    if n == 0:
+        return p0, np.zeros_like(x)
+    p1 = x.copy()
+    for k in range(1, n):
+        p0, p1 = p1, ((2 * k + 1) * x * p1 - k * p0) / (k + 1)
+    # P'_n from P_n (=p1) and P_{n-1} (=p0); the formula is singular at
+    # x = +-1 where P'_n = +-n(n+1)/2 * (+-1)^n is substituted directly.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dp = n * (x * p1 - p0) / (x**2 - 1.0)
+    at_end = np.isclose(np.abs(x), 1.0)
+    if at_end.any():
+        endval = 0.5 * n * (n + 1)
+        dp = np.where(at_end, np.sign(x) ** (n + 1) * endval, dp)
+    return p1, dp
+
+
+@lru_cache(maxsize=64)
+def _gll_cached(order: int) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    n = order
+    if n == 1:
+        return ((-1.0, 1.0), (1.0, 1.0))
+    # Initial guess: Chebyshev-Gauss-Lobatto points, refined by Newton on
+    # (1 - x^2) P'_N(x) = 0 for interior nodes.
+    x = -np.cos(np.pi * np.arange(n + 1) / n)
+    xi = x[1:-1]
+    for _ in range(100):
+        p, dp = _legendre(n, xi)
+        # f = P'_N; f' = P''_N computed from the Legendre ODE:
+        # (1-x^2) P'' - 2x P' + N(N+1) P = 0  =>  P'' = (2x P' - N(N+1) P)/(1-x^2)
+        d2p = (2 * xi * dp - n * (n + 1) * p) / (1 - xi**2)
+        step = dp / d2p
+        xi = xi - step
+        if np.max(np.abs(step)) < 1e-15:
+            break
+    x[1:-1] = xi
+    p, _ = _legendre(n, x)
+    w = 2.0 / (n * (n + 1) * p**2)
+    return tuple(x), tuple(w)
+
+
+def gll_points_weights(order: int) -> tuple[np.ndarray, np.ndarray]:
+    """GLL nodes and quadrature weights on [-1, 1] for polynomial ``order``.
+
+    Returns ``order + 1`` points including both endpoints.  Exact for
+    polynomials up to degree ``2*order - 1``.
+
+    >>> x, w = gll_points_weights(2)
+    >>> np.allclose(x, [-1, 0, 1]) and np.allclose(w, [1/3, 4/3, 1/3])
+    True
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    x, w = _gll_cached(order)
+    return np.array(x), np.array(w)
+
+
+def differentiation_matrix(order: int) -> np.ndarray:
+    """Nodal differentiation matrix ``D`` on the GLL points.
+
+    ``(D @ u)[i]`` is the derivative at node ``i`` of the interpolant of
+    ``u``.  Uses the standard barycentric formula with the analytically
+    known diagonal.
+    """
+    x, _ = gll_points_weights(order)
+    n = order
+    p_at, _ = _legendre(n, x)
+    m = order + 1
+    d = np.zeros((m, m))
+    for i in range(m):
+        for j in range(m):
+            if i != j:
+                d[i, j] = (p_at[i] / p_at[j]) / (x[i] - x[j])
+    d[0, 0] = -n * (n + 1) / 4.0
+    d[-1, -1] = n * (n + 1) / 4.0
+    return d
+
+
+def lagrange_interpolation_matrix(order: int, targets: np.ndarray) -> np.ndarray:
+    """Matrix evaluating the GLL nodal interpolant at ``targets``.
+
+    ``(L @ u)[k]`` is the interpolant of nodal values ``u`` at
+    ``targets[k]``.  Used for solution probing and error measurement.
+    """
+    x, _ = gll_points_weights(order)
+    targets = np.asarray(targets, dtype=float)
+    m = len(x)
+    # Barycentric weights.
+    bw = np.ones(m)
+    for i in range(m):
+        for j in range(m):
+            if i != j:
+                bw[i] /= x[i] - x[j]
+    out = np.zeros((len(targets), m))
+    for k, t in enumerate(targets):
+        diff = t - x
+        exact = np.isclose(diff, 0.0, atol=1e-14)
+        if exact.any():
+            out[k, np.argmax(exact)] = 1.0
+        else:
+            terms = bw / diff
+            out[k] = terms / terms.sum()
+    return out

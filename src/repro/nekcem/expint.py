@@ -1,0 +1,117 @@
+"""Krylov exponential time integration (Gallopoulos & Saad).
+
+NekCEM's second time-advancing option (paper Section III-A, ref. [12]):
+for the linear semi-discrete Maxwell system ``du/dt = A u`` one step is the
+matrix exponential ``u(t + dt) = exp(dt A) u``, approximated in a Krylov
+subspace built by Arnoldi iteration:
+
+    u(t + dt) ~ beta * V_m  exp(dt H_m) e_1,
+
+with ``V_m`` an orthonormal Krylov basis of dimension ``m`` and ``H_m`` the
+projected (Hessenberg) operator.  The scheme is not CFL-bound — accuracy,
+not stability, limits the step — which is why spectral codes carry it next
+to explicit RK4.
+
+Only matrix-vector products with ``A`` are needed; the DG right-hand side
+itself serves as the matvec, so this integrator drives the exact same
+spatial operator (and therefore the same checkpoint state) as
+:class:`~repro.nekcem.rk4.LSRK4`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy.linalg import expm
+
+__all__ = ["KrylovExpIntegrator"]
+
+
+class KrylovExpIntegrator:
+    """Arnoldi-based exponential integrator for a linear ``rhs``.
+
+    Parameters
+    ----------
+    rhs:
+        ``rhs(state, t)`` returning ``A @ state`` per component; must be
+        linear and autonomous (the Maxwell curl operator is).
+    krylov_dim:
+        Subspace dimension ``m``; 20-40 is typical.  Larger m permits
+        larger steps at higher per-step cost.
+    breakdown_tol:
+        Arnoldi happy-breakdown threshold (the subspace became invariant —
+        the approximation is then exact).
+    """
+
+    def __init__(self, rhs: Callable[[list, float], list], krylov_dim: int = 30,
+                 breakdown_tol: float = 1e-12) -> None:
+        if krylov_dim < 2:
+            raise ValueError("krylov_dim must be >= 2")
+        self.rhs = rhs
+        self.m = krylov_dim
+        self.breakdown_tol = breakdown_tol
+        self._shapes: list[tuple] | None = None
+
+    # -- state <-> vector -------------------------------------------------
+    def _flatten(self, state: list[np.ndarray]) -> np.ndarray:
+        self._shapes = [c.shape for c in state]
+        return np.concatenate([c.ravel() for c in state])
+
+    def _unflatten(self, v: np.ndarray) -> list[np.ndarray]:
+        out = []
+        pos = 0
+        for shape in self._shapes:
+            size = int(np.prod(shape))
+            out.append(v[pos : pos + size].reshape(shape).copy())
+            pos += size
+        return out
+
+    def _matvec(self, v: np.ndarray, t: float) -> np.ndarray:
+        state = self._unflatten(v)
+        k = self.rhs(state, t)
+        return np.concatenate([c.ravel() for c in k])
+
+    # -- stepping -----------------------------------------------------------
+    def step(self, state: list[np.ndarray], t: float, dt: float) -> list[np.ndarray]:
+        """Advance ``state`` by ``dt``; returns the new state (copy)."""
+        v = self._flatten(state)
+        beta = float(np.linalg.norm(v))
+        if beta == 0.0:
+            return [c.copy() for c in state]
+        m = self.m
+        n = len(v)
+        V = np.zeros((m + 1, n))
+        H = np.zeros((m + 1, m))
+        V[0] = v / beta
+        used = m
+        for j in range(m):
+            w = self._matvec(V[j], t)
+            # Modified Gram-Schmidt.
+            for i in range(j + 1):
+                H[i, j] = float(np.dot(w, V[i]))
+                w -= H[i, j] * V[i]
+            h = float(np.linalg.norm(w))
+            H[j + 1, j] = h
+            if h < self.breakdown_tol:
+                used = j + 1  # happy breakdown: subspace is invariant
+                break
+            V[j + 1] = w / h
+        Hm = H[:used, :used]
+        phi = expm(dt * Hm)[:, 0]
+        u_next = beta * (V[:used].T @ phi)
+        return self._unflatten(u_next)
+
+    def integrate(self, state: list[np.ndarray], t0: float, dt: float,
+                  n_steps: int,
+                  callback: Callable | None = None) -> tuple[list[np.ndarray], float]:
+        """Take ``n_steps`` exponential steps (interface mirrors LSRK4)."""
+        if n_steps < 0:
+            raise ValueError("negative step count")
+        t = t0
+        for i in range(n_steps):
+            state = self.step(state, t, dt)
+            t = t0 + (i + 1) * dt
+            if callback is not None:
+                callback(state, t, i + 1)
+        return state, t

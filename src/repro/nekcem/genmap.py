@@ -1,0 +1,132 @@
+"""Mesh partitioning and the ``.map`` input format.
+
+NekCEM's second input file (Fig. 1) is the global mapping produced by
+``genmap``: which rank owns each element (plus vertex numbering).  Data
+stays global so runs at any processor count share the same inputs.
+
+Two partitioners are provided:
+
+- :func:`partition_linear` — contiguous blocks of lexicographic element
+  ids (what a slab decomposition of a structured mesh gives);
+- :func:`partition_rcb` — recursive coordinate bisection over element
+  centroids, the classic geometric partitioner for unstructured meshes.
+
+Both balance element counts to within one element and keep every rank
+non-empty (when ``n_elements >= n_ranks``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mesh import HexMesh
+
+__all__ = ["partition_linear", "partition_rcb", "write_map", "read_map",
+           "partition_stats"]
+
+
+def partition_linear(mesh: HexMesh, n_ranks: int) -> np.ndarray:
+    """Contiguous block partition of lexicographic element ids.
+
+    Returns an int array of length ``n_elements`` with the owning rank of
+    each element.
+    """
+    n = mesh.n_elements
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if n_ranks > n:
+        raise ValueError(f"more ranks ({n_ranks}) than elements ({n})")
+    # Balanced blocks: first (n % n_ranks) ranks get one extra element.
+    base, extra = divmod(n, n_ranks)
+    owners = np.empty(n, dtype=np.int64)
+    pos = 0
+    for r in range(n_ranks):
+        count = base + (1 if r < extra else 0)
+        owners[pos : pos + count] = r
+        pos += count
+    return owners
+
+
+def partition_rcb(mesh: HexMesh, n_ranks: int) -> np.ndarray:
+    """Recursive coordinate bisection over element centroids."""
+    n = mesh.n_elements
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if n_ranks > n:
+        raise ValueError(f"more ranks ({n_ranks}) than elements ({n})")
+    h = mesh.element_sizes
+    centroids = np.array([
+        [o + 0.5 * s for o, s in zip(mesh.element_origin(e), h)]
+        for e in range(n)
+    ])
+    owners = np.zeros(n, dtype=np.int64)
+
+    def recurse(ids: np.ndarray, ranks_lo: int, ranks_hi: int) -> None:
+        n_ranks_here = ranks_hi - ranks_lo
+        if n_ranks_here == 1:
+            owners[ids] = ranks_lo
+            return
+        # Split proportionally to the rank counts on each side, along the
+        # longest extent of this subdomain.
+        pts = centroids[ids]
+        extents = pts.max(axis=0) - pts.min(axis=0)
+        axis = int(np.argmax(extents))
+        order = ids[np.argsort(pts[:, axis], kind="stable")]
+        half_ranks = n_ranks_here // 2
+        cut = len(order) * half_ranks // n_ranks_here
+        recurse(order[:cut], ranks_lo, ranks_lo + half_ranks)
+        recurse(order[cut:], ranks_lo + half_ranks, ranks_hi)
+
+    recurse(np.arange(n), 0, n_ranks)
+    return owners
+
+
+def partition_stats(owners: np.ndarray, n_ranks: int) -> dict:
+    """Balance diagnostics for a partition vector."""
+    counts = np.bincount(owners, minlength=n_ranks)
+    return {
+        "min": int(counts.min()),
+        "max": int(counts.max()),
+        "imbalance": float(counts.max() / counts.mean()) if counts.mean() else 0.0,
+        "empty_ranks": int((counts == 0).sum()),
+    }
+
+
+_MAP_MAGIC = "**NEKCEM-REPRO MAP v1**"
+
+
+def write_map(owners: np.ndarray, n_ranks: int, path_or_file) -> None:
+    """Write a ``.map`` file: element count, rank count, one owner per line."""
+    own = isinstance(path_or_file, (str, bytes))
+    f = open(path_or_file, "w") if own else path_or_file
+    try:
+        f.write(_MAP_MAGIC + "\n")
+        f.write(f"{len(owners)} {n_ranks}\n")
+        for owner in owners:
+            f.write(f"{int(owner)}\n")
+    finally:
+        if own:
+            f.close()
+
+
+def read_map(path_or_file) -> tuple[np.ndarray, int]:
+    """Read a ``.map`` file; returns ``(owners, n_ranks)`` with validation."""
+    own = isinstance(path_or_file, (str, bytes))
+    f = open(path_or_file) if own else path_or_file
+    try:
+        magic = f.readline().strip()
+        if magic != _MAP_MAGIC:
+            raise ValueError(f"not a map file (magic {magic!r})")
+        n_elements, n_ranks = (int(x) for x in f.readline().split())
+        owners = np.empty(n_elements, dtype=np.int64)
+        for i in range(n_elements):
+            line = f.readline()
+            if not line:
+                raise ValueError(f"truncated map file at element {i}")
+            owners[i] = int(line)
+        if owners.min() < 0 or owners.max() >= n_ranks:
+            raise ValueError("owner rank out of range")
+        return owners, n_ranks
+    finally:
+        if own:
+            f.close()

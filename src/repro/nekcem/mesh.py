@@ -1,0 +1,250 @@
+"""Hexahedral spectral-element meshes and the ``.rea`` input format.
+
+NekCEM reads its global mesh from an ``.rea`` file (Fig. 1 of the paper)
+produced by meshing tools such as ``prex``; data is kept in global format so
+users need not pre-partition.  This module provides:
+
+- :class:`HexMesh` — a structured rectilinear hexahedral mesh (element
+  vertices, neighbour topology, boundary tags);
+- :func:`box_mesh` / :func:`waveguide_mesh` — generators for the test
+  geometries.  The paper's production case is a *cylindrical* waveguide
+  with body-fitted elements; we substitute a rectangular waveguide, which
+  exercises the same SEDG code path (hex elements, face flux exchange,
+  PEC walls, guided modes) while keeping element Jacobians diagonal —
+  see DESIGN.md's substitution table.
+- :func:`write_rea` / :func:`read_rea` — a faithful-in-spirit ASCII
+  ``.rea`` writer/reader (header with run parameters, then per-element
+  vertex coordinates and boundary conditions).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["HexMesh", "box_mesh", "waveguide_mesh", "write_rea", "read_rea"]
+
+#: Face index convention: -x, +x, -y, +y, -z, +z.
+FACE_AXES = [(0, -1), (0, +1), (1, -1), (1, +1), (2, -1), (2, +1)]
+
+
+@dataclass
+class HexMesh:
+    """A structured rectilinear hexahedral mesh.
+
+    Elements are indexed lexicographically over ``shape = (nex, ney, nez)``
+    (z fastest).  ``bounds`` is ``((x0, x1), (y0, y1), (z0, z1))``.
+    ``boundary`` maps each of the six outer faces (-x, +x, -y, +y, -z, +z)
+    to a condition tag: ``"PEC"`` (perfect electric conductor) or
+    ``"periodic"``.
+    """
+
+    shape: tuple[int, int, int]
+    bounds: tuple[tuple[float, float], ...]
+    boundary: tuple[str, ...] = ("PEC",) * 6
+    params: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3 or any(n < 1 for n in self.shape):
+            raise ValueError(f"bad element shape {self.shape}")
+        if len(self.bounds) != 3 or any(b[1] <= b[0] for b in self.bounds):
+            raise ValueError(f"bad bounds {self.bounds}")
+        if len(self.boundary) != 6:
+            raise ValueError("need six boundary tags")
+        for tag in self.boundary:
+            if tag not in ("PEC", "periodic"):
+                raise ValueError(f"unknown boundary tag {tag!r}")
+        # Periodicity must be paired.
+        for lo in (0, 2, 4):
+            a, b = self.boundary[lo], self.boundary[lo + 1]
+            if ("periodic" in (a, b)) and a != b:
+                raise ValueError("periodic boundaries must be paired per axis")
+        if self.params is None:
+            self.params = {}
+
+    # -- sizes -----------------------------------------------------------
+    @property
+    def n_elements(self) -> int:
+        """Total element count E."""
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def element_sizes(self) -> tuple[float, float, float]:
+        """(hx, hy, hz) edge lengths of each (uniform) element."""
+        return tuple(
+            (b[1] - b[0]) / n for b, n in zip(self.bounds, self.shape)
+        )
+
+    def n_gridpoints(self, order: int) -> int:
+        """Total grid points n = E * (order+1)^3."""
+        return self.n_elements * (order + 1) ** 3
+
+    # -- indexing ------------------------------------------------------------
+    def element_index(self, e: int) -> tuple[int, int, int]:
+        """Lexicographic id -> (ix, iy, iz)."""
+        nx, ny, nz = self.shape
+        if not 0 <= e < self.n_elements:
+            raise ValueError(f"element {e} out of range")
+        iz = e % nz
+        iy = (e // nz) % ny
+        ix = e // (nz * ny)
+        return ix, iy, iz
+
+    def element_id(self, ix: int, iy: int, iz: int) -> int:
+        """(ix, iy, iz) -> lexicographic id."""
+        nx, ny, nz = self.shape
+        if not (0 <= ix < nx and 0 <= iy < ny and 0 <= iz < nz):
+            raise ValueError(f"element index ({ix},{iy},{iz}) out of range")
+        return (ix * ny + iy) * nz + iz
+
+    def element_origin(self, e: int) -> tuple[float, float, float]:
+        """Coordinates of the element's low corner."""
+        idx = self.element_index(e)
+        h = self.element_sizes
+        return tuple(self.bounds[a][0] + idx[a] * h[a] for a in range(3))
+
+    def element_vertices(self, e: int) -> np.ndarray:
+        """The eight vertex coordinates, shape (8, 3), z-fastest order."""
+        ox, oy, oz = self.element_origin(e)
+        hx, hy, hz = self.element_sizes
+        verts = []
+        for dx in (0, 1):
+            for dy in (0, 1):
+                for dz in (0, 1):
+                    verts.append((ox + dx * hx, oy + dy * hy, oz + dz * hz))
+        return np.array(verts)
+
+    def neighbor(self, e: int, face: int) -> Optional[int]:
+        """Element across ``face`` (0..5 = -x,+x,-y,+y,-z,+z).
+
+        Returns ``None`` on a non-periodic physical boundary; wraps on
+        periodic axes.
+        """
+        if not 0 <= face < 6:
+            raise ValueError(f"face {face} out of range")
+        axis, sign = FACE_AXES[face]
+        idx = list(self.element_index(e))
+        idx[axis] += sign
+        n = self.shape[axis]
+        if 0 <= idx[axis] < n:
+            return self.element_id(*idx)
+        if self.boundary[face] == "periodic":
+            idx[axis] %= n
+            return self.element_id(*idx)
+        return None
+
+
+def box_mesh(shape: tuple[int, int, int],
+             bounds: tuple[tuple[float, float], ...] = ((0, 1), (0, 1), (0, 1)),
+             boundary: tuple[str, ...] = ("PEC",) * 6,
+             **params) -> HexMesh:
+    """A rectilinear box of hex elements (cavity test geometry)."""
+    return HexMesh(tuple(shape), tuple(tuple(b) for b in bounds),
+                   tuple(boundary), dict(params))
+
+
+def waveguide_mesh(cross_elements: int = 2, axial_elements: int = 8,
+                   width: float = 1.0, height: float = 0.5,
+                   length: float = 4.0, **params) -> HexMesh:
+    """A rectangular waveguide: PEC walls, periodic along the guide axis.
+
+    Stands in for the paper's 3-D cylindrical waveguide production runs;
+    the TE10 mode of a rectangular guide has a closed-form dispersion
+    relation used by the solver tests.
+    """
+    return HexMesh(
+        (axial_elements, cross_elements, cross_elements),
+        ((0.0, length), (0.0, width), (0.0, height)),
+        ("periodic", "periodic", "PEC", "PEC", "PEC", "PEC"),
+        dict(params),
+    )
+
+
+# ---------------------------------------------------------------------------
+# .rea input files
+# ---------------------------------------------------------------------------
+
+_REA_MAGIC = "**NEKCEM-REPRO REA v1**"
+
+
+def write_rea(mesh: HexMesh, path_or_file) -> None:
+    """Write a mesh as an ASCII ``.rea`` input file.
+
+    Format (simplified NekCEM): magic line, parameter block, mesh block
+    with shape/bounds/boundary tags, then one line of 8 vertex coordinates
+    per element (global format, as the paper describes — no partitioning).
+    """
+    own = isinstance(path_or_file, (str, bytes))
+    f = open(path_or_file, "w") if own else path_or_file
+    try:
+        f.write(_REA_MAGIC + "\n")
+        f.write(f"{len(mesh.params)} PARAMETERS\n")
+        for k, v in sorted(mesh.params.items()):
+            f.write(f"  {k} = {v}\n")
+        f.write("MESH DATA\n")
+        f.write(f"  shape {mesh.shape[0]} {mesh.shape[1]} {mesh.shape[2]}\n")
+        for (lo, hi) in mesh.bounds:
+            f.write(f"  bounds {lo!r} {hi!r}\n")
+        f.write("  boundary " + " ".join(mesh.boundary) + "\n")
+        f.write(f"  elements {mesh.n_elements}\n")
+        for e in range(mesh.n_elements):
+            verts = mesh.element_vertices(e)
+            f.write(" ".join(repr(float(x)) for x in verts.ravel()) + "\n")
+    finally:
+        if own:
+            f.close()
+
+
+def read_rea(path_or_file) -> HexMesh:
+    """Read a mesh back from :func:`write_rea` output (with validation)."""
+    own = isinstance(path_or_file, (str, bytes))
+    f = open(path_or_file) if own else path_or_file
+    try:
+        magic = f.readline().strip()
+        if magic != _REA_MAGIC:
+            raise ValueError(f"not a rea file (magic {magic!r})")
+        n_params = int(f.readline().split()[0])
+        params = {}
+        for _ in range(n_params):
+            key, _, value = f.readline().partition("=")
+            value = value.strip()
+            try:
+                parsed = int(value)
+            except ValueError:
+                try:
+                    parsed = float(value)
+                except ValueError:
+                    parsed = value
+            params[key.strip()] = parsed
+        if f.readline().strip() != "MESH DATA":
+            raise ValueError("missing MESH DATA block")
+        shape = tuple(int(x) for x in f.readline().split()[1:4])
+        bounds = []
+        for _ in range(3):
+            parts = f.readline().split()
+            bounds.append((float(parts[1]), float(parts[2])))
+        boundary = tuple(f.readline().split()[1:7])
+        n_elements = int(f.readline().split()[1])
+        mesh = HexMesh(shape, tuple(bounds), boundary, params)
+        if mesh.n_elements != n_elements:
+            raise ValueError(
+                f"element count {n_elements} inconsistent with shape {shape}"
+            )
+        # Validate a sample of element vertex lines.
+        for e in range(n_elements):
+            line = f.readline()
+            if not line:
+                raise ValueError(f"truncated rea file at element {e}")
+            coords = np.array([float(x) for x in line.split()]).reshape(8, 3)
+            if e in (0, n_elements - 1) and not np.allclose(
+                coords, mesh.element_vertices(e)
+            ):
+                raise ValueError(f"vertex data mismatch at element {e}")
+        return mesh
+    finally:
+        if own:
+            f.close()

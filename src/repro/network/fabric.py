@@ -1,0 +1,118 @@
+"""Message transport over the simulated Blue Gene/P fabric.
+
+The fabric models the part of the network that shapes the paper's results:
+
+- **Endpoint serialization.**  Every node has one injection and one ejection
+  pipe whose bandwidth is the node's aggregate torus capacity (six links at
+  425 MB/s each direction).  All traffic into a node shares its ejection
+  pipe — this is what makes the 63-into-1 rbIO writer incast take
+  ``63 * msg / ejection_bw`` rather than being free.
+- **Distance latency.**  Dimension-ordered hop count times the per-hop
+  router latency, plus a fixed per-message software overhead.
+- **Intermediate links** are *not* individually modelled; checkpoint traffic
+  is bulk-synchronous and endpoint-bound, so per-hop contention would add
+  cost without changing any of the reproduced curves (see DESIGN.md §2).
+
+Both pipe reservations for a message are made when the message is injected
+and the message completes at the later of the two plus latency — the
+standard steady-state pipelining approximation, costing exactly one timer
+event per message (essential at 65,536 ranks).
+"""
+
+from __future__ import annotations
+
+from ..sim import Engine, Event, Pipe
+from ..topology import MachineConfig, PsetMap, TorusTopology
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Transport service between ranks of one partition.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    config:
+        Machine constants (bandwidths, latencies).
+    n_ranks:
+        Partition size; rank-to-node placement follows
+        :class:`~repro.topology.PsetMap`.
+    """
+
+    def __init__(self, engine: Engine, config: MachineConfig, n_ranks: int) -> None:
+        self.engine = engine
+        self.config = config
+        self.psets: PsetMap = config.pset_map(n_ranks)
+        self.topology: TorusTopology = config.torus(n_ranks)
+        self._node_bw = config.torus_link_bandwidth * config.torus_links_per_node
+        # Pipes are created lazily: most nodes never touch the network in a
+        # given experiment phase, and 16K Pipe objects up front is waste.
+        self._injection: dict[int, Pipe] = {}
+        self._ejection: dict[int, Pipe] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- pipe accessors ----------------------------------------------------
+    def injection(self, node: int) -> Pipe:
+        """The (shared) injection pipe of a compute node."""
+        pipe = self._injection.get(node)
+        if pipe is None:
+            pipe = Pipe(self.engine, self._node_bw)
+            self._injection[node] = pipe
+        return pipe
+
+    def ejection(self, node: int) -> Pipe:
+        """The (shared) ejection pipe of a compute node."""
+        pipe = self._ejection.get(node)
+        if pipe is None:
+            pipe = Pipe(self.engine, self._node_bw)
+            self._ejection[node] = pipe
+        return pipe
+
+    # -- transfers -----------------------------------------------------------
+    def latency_between(self, src_rank: int, dst_rank: int) -> float:
+        """Pure latency (overhead + hops) between two ranks' nodes."""
+        src = self.psets.node_of_rank(src_rank)
+        dst = self.psets.node_of_rank(dst_rank)
+        hops = self.topology.hops(src, dst)
+        return self.config.mpi_overhead + hops * self.config.torus_hop_latency
+
+    def transfer(self, src_rank: int, dst_rank: int, nbytes: int) -> Event:
+        """Move ``nbytes`` from ``src_rank``'s node to ``dst_rank``'s node.
+
+        Returns an event triggering when the last byte has arrived.
+        Same-node transfers cost a memory copy instead of network time.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        eng = self.engine
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        src = self.psets.node_of_rank(src_rank)
+        dst = self.psets.node_of_rank(dst_rank)
+        if src == dst:
+            # Intra-node: one memory-bandwidth copy plus software overhead.
+            delay = self.config.mpi_overhead + nbytes / self.config.memory_bandwidth
+            return eng.timeout(delay)
+        hops = self.topology.hops(src, dst)
+        t_inj = self.injection(src).reserve(nbytes)
+        t_ej = self.ejection(dst).reserve(nbytes)
+        done = max(t_inj, t_ej) + self.config.mpi_overhead + hops * self.config.torus_hop_latency
+        return eng.timeout(done - eng.now)
+
+    def local_copy_time(self, nbytes: int) -> float:
+        """Time for a node-local buffer copy of ``nbytes`` (eager sends)."""
+        if nbytes < 0:
+            raise ValueError(f"negative copy size: {nbytes}")
+        return nbytes / self.config.memory_bandwidth
+
+    # -- diagnostics ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregate traffic counters (diagnostics)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "nodes_touched": len(set(self._injection) | set(self._ejection)),
+        }

@@ -1,0 +1,18 @@
+"""Darshan-style I/O instrumentation and figure analyses."""
+
+from .analysis import (
+    distribution_summary,
+    io_time_distribution,
+    write_activity,
+    writer_worker_split,
+)
+from .darshan import DarshanProfiler, OpRecord
+
+__all__ = [
+    "DarshanProfiler",
+    "OpRecord",
+    "distribution_summary",
+    "io_time_distribution",
+    "write_activity",
+    "writer_worker_split",
+]

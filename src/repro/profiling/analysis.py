@@ -1,0 +1,97 @@
+"""Analyses over profiler records: the data series behind Figs. 9-12.
+
+These functions transform a :class:`~repro.profiling.darshan.DarshanProfiler`
+(or raw per-rank timing dicts from a checkpoint run) into exactly the series
+the paper plots:
+
+- :func:`io_time_distribution` — per-rank scatter of I/O time for one
+  checkpoint step (Figs. 9, 10, 11).
+- :func:`distribution_summary` — median/percentile/outlier statistics used
+  in the paper's prose ("most of the processors finish within 10 seconds").
+- :func:`write_activity` — concurrent-writer timeline, the Darshan write
+  activity analysis of Fig. 12.
+- :func:`writer_worker_split` — separates the two "lines" of Fig. 11
+  (writers vs workers in rbIO).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+import numpy as np
+
+from .darshan import DarshanProfiler
+
+__all__ = [
+    "io_time_distribution",
+    "distribution_summary",
+    "write_activity",
+    "writer_worker_split",
+]
+
+
+def io_time_distribution(per_rank_time: Mapping[int, float],
+                         n_ranks: Optional[int] = None) -> tuple[np.ndarray, np.ndarray]:
+    """Per-rank I/O-time scatter series: (rank ids, times).
+
+    Missing ranks (no I/O at all) appear with 0.0 when ``n_ranks`` is given,
+    matching the paper's plots where every processor has a point.
+    """
+    if n_ranks is None:
+        ranks = np.array(sorted(per_rank_time), dtype=np.int64)
+        times = np.array([per_rank_time[r] for r in ranks])
+        return ranks, times
+    ranks = np.arange(n_ranks, dtype=np.int64)
+    times = np.zeros(n_ranks)
+    for r, t in per_rank_time.items():
+        if 0 <= r < n_ranks:
+            times[r] = t
+    return ranks, times
+
+
+def distribution_summary(times: Iterable[float]) -> dict[str, float]:
+    """Summary statistics of a per-rank time distribution.
+
+    ``outlier_fraction`` counts ranks beyond 3x the median — the quantity
+    the paper points at in Fig. 10's discussion.
+    """
+    arr = np.asarray(list(times), dtype=float)
+    if arr.size == 0:
+        return {"count": 0, "median": 0.0, "p95": 0.0, "max": 0.0,
+                "mean": 0.0, "outlier_fraction": 0.0}
+    med = float(np.median(arr))
+    return {
+        "count": int(arr.size),
+        "median": med,
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "outlier_fraction": float(np.mean(arr > 3 * med)) if med > 0 else 0.0,
+    }
+
+
+def write_activity(profiler: DarshanProfiler, bin_width: float = 0.5
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Concurrent write activity over time (Fig. 12 series).
+
+    Returns ``(bin_start_times, active_writer_counts)``: how many
+    processes were inside a file-system write at each instant.
+    """
+    return profiler.write_intervals().activity(bin_width)
+
+
+def writer_worker_split(per_rank_time: Mapping[int, float],
+                        writer_ranks: Iterable[int]) -> dict[str, dict[str, float]]:
+    """Split a per-rank distribution into writer and worker populations.
+
+    Fig. 11 shows two horizontal "lines": the upper is the rbIO writers'
+    commit time, the lower is the workers' Isend time.  This returns
+    :func:`distribution_summary` for each population.
+    """
+    writers = set(writer_ranks)
+    w_times = [t for r, t in per_rank_time.items() if r in writers]
+    k_times = [t for r, t in per_rank_time.items() if r not in writers]
+    return {
+        "writers": distribution_summary(w_times),
+        "workers": distribution_summary(k_times),
+    }

@@ -1,0 +1,169 @@
+"""Darshan-style I/O instrumentation.
+
+The paper verifies its tuning with two kinds of profile data:
+
+- **per-rank I/O time distributions** (Figs. 9-11): for every processor, the
+  wall-clock time it spent blocked on checkpoint I/O in one step;
+- **Darshan log analysis** (Fig. 12): write-activity timelines showing when
+  each writer/aggregator was actually committing data, which exposes the
+  lock-contention gaps of coIO versus the tight synchronized band of rbIO.
+
+:class:`DarshanProfiler` collects per-operation records from the file-system
+clients (create/open/write/read/close with timestamps, sizes, and paths) and
+app-level *phase* records from the checkpoint strategies (e.g. a worker's
+``isend`` window).  :mod:`repro.profiling.analysis` turns these into the
+figures' data series.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..sim import IntervalRecorder
+
+__all__ = ["OpRecord", "DarshanProfiler"]
+
+
+class OpRecord:
+    """One instrumented operation (file op or app-level phase)."""
+
+    __slots__ = ("rank", "op", "start", "end", "nbytes", "path")
+
+    def __init__(self, rank: int, op: str, start: float, end: float,
+                 nbytes: int, path: str) -> None:
+        self.rank = rank
+        self.op = op
+        self.start = start
+        self.end = end
+        self.nbytes = nbytes
+        self.path = path
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration of the operation."""
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Op {self.op} rank={self.rank} [{self.start:.4f},{self.end:.4f}] "
+            f"{self.nbytes}B {self.path!r}>"
+        )
+
+
+class DarshanProfiler:
+    """Collects I/O operation records for one job.
+
+    File-system clients call :meth:`record_op`; checkpoint strategies call
+    :meth:`record_phase` for application-level blocking windows (phases are
+    stored with an ``app:`` prefix on the op name).  ``reset()`` between
+    checkpoint steps isolates per-step analyses.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[OpRecord] = []
+
+    # -- recording -----------------------------------------------------------
+    def record_op(self, rank: int, op: str, start: float, end: float,
+                  nbytes: int, path: str) -> None:
+        """Record a file-system operation (called by FSClient)."""
+        self.records.append(OpRecord(rank, op, start, end, nbytes, path))
+
+    def record_phase(self, rank: int, phase: str, start: float, end: float,
+                     nbytes: int = 0) -> None:
+        """Record an application-level phase (e.g. 'ckpt', 'isend')."""
+        self.records.append(OpRecord(rank, f"app:{phase}", start, end, nbytes, ""))
+
+    def reset(self) -> None:
+        """Drop all records (between checkpoint steps)."""
+        self.records.clear()
+
+    # -- queries --------------------------------------------------------------
+    def select(self, ops: Optional[Iterable[str]] = None,
+               path_prefix: Optional[str] = None) -> list[OpRecord]:
+        """Records filtered by op name(s) and/or path prefix."""
+        out = self.records
+        if ops is not None:
+            opset = set(ops)
+            out = [r for r in out if r.op in opset]
+        if path_prefix is not None:
+            out = [r for r in out if r.path.startswith(path_prefix)]
+        return list(out) if out is self.records else out
+
+    def op_counts(self) -> Counter:
+        """Darshan-like counter table: number of ops per type."""
+        return Counter(r.op for r in self.records)
+
+    def bytes_by_op(self) -> dict[str, int]:
+        """Total bytes moved per op type."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.op] = out.get(r.op, 0) + r.nbytes
+        return out
+
+    def per_rank_io_time(self, ops: Optional[Iterable[str]] = None) -> dict[int, float]:
+        """Total time each rank spent inside the selected operations."""
+        out: dict[int, float] = {}
+        for r in self.select(ops):
+            out[r.rank] = out.get(r.rank, 0.0) + r.duration
+        return out
+
+    def per_rank_span(self, ops: Optional[Iterable[str]] = None) -> dict[int, tuple[float, float]]:
+        """(first start, last end) of the selected ops, per rank."""
+        out: dict[int, tuple[float, float]] = {}
+        for r in self.select(ops):
+            cur = out.get(r.rank)
+            if cur is None:
+                out[r.rank] = (r.start, r.end)
+            else:
+                out[r.rank] = (min(cur[0], r.start), max(cur[1], r.end))
+        return out
+
+    def write_intervals(self) -> IntervalRecorder:
+        """Activity intervals of all 'write' operations (Fig. 12 input)."""
+        rec = IntervalRecorder("writes")
+        for r in self.records:
+            if r.op == "write":
+                rec.record(r.start, r.end, r.rank)
+        return rec
+
+    def file_counters(self) -> dict[str, dict[str, float]]:
+        """Per-file Darshan-style counters.
+
+        Keys mirror Darshan's POSIX module: ``WRITES``, ``BYTES_WRITTEN``,
+        ``READS``, ``BYTES_READ``, ``F_WRITE_TIME``, ``F_READ_TIME``,
+        ``OPENS``.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for r in self.records:
+            if not r.path:
+                continue
+            c = out.setdefault(r.path, {
+                "WRITES": 0, "BYTES_WRITTEN": 0, "READS": 0, "BYTES_READ": 0,
+                "F_WRITE_TIME": 0.0, "F_READ_TIME": 0.0, "OPENS": 0,
+            })
+            if r.op == "write":
+                c["WRITES"] += 1
+                c["BYTES_WRITTEN"] += r.nbytes
+                c["F_WRITE_TIME"] += r.duration
+            elif r.op == "read":
+                c["READS"] += 1
+                c["BYTES_READ"] += r.nbytes
+                c["F_READ_TIME"] += r.duration
+            elif r.op in ("open", "create"):
+                c["OPENS"] += 1
+        return out
+
+    def summary(self) -> dict[str, float]:
+        """One-line job summary (total ops, bytes, busiest rank)."""
+        writes = self.select(["write"])
+        per_rank = self.per_rank_io_time()
+        return {
+            "n_records": len(self.records),
+            "n_writes": len(writes),
+            "bytes_written": float(sum(r.nbytes for r in writes)),
+            "max_rank_io_time": max(per_rank.values()) if per_rank else 0.0,
+            "mean_rank_io_time": float(np.mean(list(per_rank.values()))) if per_rank else 0.0,
+        }

@@ -1,0 +1,51 @@
+"""Discrete-event simulation kernel used by the whole reproduction.
+
+Public surface:
+
+- :class:`~repro.sim.engine.Engine`, :class:`~repro.sim.engine.Event`,
+  :class:`~repro.sim.engine.Process`, :func:`~repro.sim.engine.all_of`,
+  :func:`~repro.sim.engine.any_of` — the process/event core.
+- :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`,
+  :class:`~repro.sim.resources.Pipe` — shared-resource primitives.
+- :class:`~repro.sim.randomness.StreamRegistry`,
+  :class:`~repro.sim.randomness.NoiseModel` — deterministic noise.
+- :class:`~repro.sim.monitor.Tally`, :class:`~repro.sim.monitor.TimeSeries`,
+  :class:`~repro.sim.monitor.IntervalRecorder` — measurement helpers.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Process,
+    SimulationError,
+    StopEngine,
+    Timeout,
+    all_of,
+    any_of,
+)
+from .monitor import IntervalRecorder, Tally, TimeSeries
+from .randomness import NoiseModel, StreamRegistry
+from .resources import Pipe, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Process",
+    "SimulationError",
+    "StopEngine",
+    "Timeout",
+    "all_of",
+    "any_of",
+    "IntervalRecorder",
+    "Tally",
+    "TimeSeries",
+    "NoiseModel",
+    "StreamRegistry",
+    "Pipe",
+    "Resource",
+    "Store",
+]

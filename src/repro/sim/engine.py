@@ -1,0 +1,396 @@
+"""Discrete-event simulation kernel.
+
+This module implements the minimal generator-based process engine that the
+whole reproduction runs on: simulated MPI ranks, network transfers, GPFS
+servers, and lock managers are all :class:`Process` instances scheduled by a
+single :class:`Engine` in virtual time.
+
+The design follows the classic event-list paradigm (as popularised by SimPy)
+but is deliberately small and fast: the figure-scale experiments in this
+repository run 65,536 rank processes, so every event carries as little state
+as possible and hot paths avoid allocation where practical.
+
+Core concepts
+-------------
+:class:`Engine`
+    Owns the virtual clock and the pending-event heap.  ``engine.process(gen)``
+    turns a generator into a running simulation process.
+:class:`Event`
+    A one-shot occurrence.  Processes wait on events by ``yield``-ing them.
+:class:`Timeout`
+    An event that triggers after a fixed delay of virtual time.
+:class:`Process`
+    Wraps a generator; it is itself an event that triggers when the generator
+    returns, so processes can wait on each other.
+:func:`all_of` / :func:`any_of`
+    Condition events for fork/join patterns.
+
+Example
+-------
+>>> eng = Engine()
+>>> log = []
+>>> def worker(name, delay):
+...     yield eng.timeout(delay)
+...     log.append((eng.now, name))
+>>> _ = eng.process(worker("a", 2.0))
+>>> _ = eng.process(worker("b", 1.0))
+>>> eng.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "all_of",
+    "any_of",
+    "SimulationError",
+    "StopEngine",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural errors in the simulation (double trigger, etc.)."""
+
+
+class StopEngine(Exception):
+    """Raise inside a process to halt the engine immediately."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event goes through three states: *pending* (created, not yet
+    triggered), *triggered* (scheduled on the engine's event list with a
+    value), and *processed* (its callbacks have run).  Waiting on an already
+    processed event resumes the waiter immediately at the current time.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "triggered", "processed")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self.triggered = False
+        self.processed = False
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with (or the failure exception)."""
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """``True`` unless the event was failed with an exception."""
+        return self._ok
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self.engine._push(0.0, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters get ``exc`` thrown into them."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._ok = False
+        self._value = exc
+        self.engine._push(0.0, self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (synchronously).
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` units of virtual time in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        engine._push(delay, self)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The generator may ``yield`` any :class:`Event`; the process suspends
+    until that event is processed and then resumes with the event's value
+    (or has the failure exception thrown into it).  The process is itself
+    an event which triggers with the generator's return value.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(engine)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {type(generator)!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume at the current time via an immediate event.
+        init = Event(engine)
+        init.triggered = True
+        init.add_callback(self._resume)
+        engine._push(0.0, init)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        gen = self.generator
+        while True:
+            try:
+                if event._ok:
+                    target = gen.send(event._value)
+                else:
+                    target = gen.throw(event._value)
+            except StopIteration as stop:
+                if not self.triggered:
+                    self.succeed(stop.value)
+                return
+            except StopEngine:
+                raise
+            except BaseException as exc:
+                # Unhandled failure in the process body: propagate to waiters
+                # if any, otherwise crash the simulation loudly.
+                if not self.triggered:
+                    if self.callbacks:
+                        self.fail(exc)
+                        return
+                    raise
+                raise
+            if not isinstance(target, Event):
+                gen.throw(
+                    SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
+                )
+                continue
+            if target.callbacks is None:
+                # Already processed: resume synchronously with its value.
+                event = target
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return
+
+
+class Condition(Event):
+    """Base for :func:`all_of` / :func:`any_of` join events.
+
+    ``_pending`` starts at the total child count so that children that were
+    already processed before the condition was created are accounted for
+    identically to ones that complete later.
+    """
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self.events = list(events)
+        self._pending = len(self.events)
+        self._init_hook()
+        for ev in self.events:
+            if self.triggered:
+                break
+            if ev.callbacks is None:
+                self._on_child(ev)
+            else:
+                ev.add_callback(self._on_child)
+
+    def _init_hook(self) -> None:
+        raise NotImplementedError
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers when all child events have been processed.
+
+    The value is the list of child values in the original order.  Fails as
+    soon as any child fails.
+    """
+
+    __slots__ = ()
+
+    def _init_hook(self) -> None:
+        if self._pending == 0:
+            self.succeed([])
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(Condition):
+    """Triggers when the first child event is processed (value = its value)."""
+
+    __slots__ = ()
+
+    def _init_hook(self) -> None:
+        if not self.events:
+            raise ValueError("any_of requires at least one event")
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+
+def all_of(engine: "Engine", events: Iterable[Event]) -> AllOf:
+    """Return an event that triggers once every event in ``events`` has."""
+    return AllOf(engine, events)
+
+
+def any_of(engine: "Engine", events: Iterable[Event]) -> AnyOf:
+    """Return an event that triggers when the first of ``events`` does."""
+    return AnyOf(engine, events)
+
+
+class Engine:
+    """The simulation engine: virtual clock plus pending-event heap.
+
+    Time is a ``float`` in arbitrary units; this repository uses seconds
+    throughout.  Events scheduled for the same instant are processed in
+    FIFO order of scheduling (stable via a monotonically increasing
+    sequence number).
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_event_count")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._event_count: int = 0
+
+    # -- scheduling ------------------------------------------------------
+    def _push(self, delay: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event` bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start ``generator`` as a simulation process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Shorthand for :func:`all_of` bound to this engine."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Shorthand for :func:`any_of` bound to this engine."""
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed so far (diagnostics)."""
+        return self._event_count
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock."""
+        t, _seq, event = heapq.heappop(self._heap)
+        self.now = t
+        callbacks = event.callbacks
+        event.callbacks = None
+        event.processed = True
+        self._event_count += 1
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event list drains or the clock passes ``until``.
+
+        When stopped by ``until``, the clock is set exactly to ``until`` and
+        any event scheduled at or before that instant has been processed.
+        """
+        heap = self._heap
+        if until is None:
+            try:
+                while heap:
+                    self.step()
+            except StopEngine:
+                return
+        else:
+            if until < self.now:
+                raise ValueError(f"until={until} is in the past (now={self.now})")
+            try:
+                while heap and heap[0][0] <= until:
+                    self.step()
+            except StopEngine:
+                return
+            self.now = until
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

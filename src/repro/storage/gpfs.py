@@ -1,0 +1,563 @@
+"""GPFS-like shared parallel file system model.
+
+This is the storage substrate under every experiment in the paper.  It
+reproduces the *mechanisms* that shape the measured curves:
+
+Metadata service (1PFPP's killer)
+    File creation inserts an entry into the parent directory, which in GPFS
+    serializes through the directory's metanode.  16,384 simultaneous
+    creates in one directory therefore queue behind a single token —
+    producing the 0–300 s triangular spread of Fig. 9 and 1PFPP's ~0.1 GB/s
+    effective bandwidth.
+
+Block allocation (the nf=1 ceiling)
+    Every file has an allocation manager.  With more than one concurrent
+    writer client, extent allocations serialize through it per block; a
+    sole writer allocates in batched segments.  A single 156 GB shared file
+    is ~39,000 extents — a hard ~27 s floor no matter how many writers, the
+    reason coIO/rbIO with nf=1 plateau at a few GB/s.
+
+Byte-range lock tokens (shared-file overhead and storms)
+    Writing blocks whose token is owned by another client costs revocation
+    round-trips.  Under heavy global stream concurrency the token manager
+    congests: shared-file write bursts then risk heavy-tailed "storms"
+    (see :class:`~repro.topology.MachineConfig` ``storm_*``), the outliers
+    of Fig. 10 that sink coIO at 65,536 processors.  Sole-owner files
+    (rbIO nf=ng, 1PFPP) are immune.
+
+Data path (the Fig. 8 optimum)
+    A write burst moves through three serialized stages, each a
+    :class:`~repro.sim.Pipe`: the client's GPFS stream (per-stream cap),
+    the pset's ION uplink (10 GbE shared by 256 ranks), and the striped
+    file servers whose per-block service grows with the number of
+    concurrently active writer streams (seek/stream-management thrash).
+    Aggregate throughput therefore *rises* with writer count while streams
+    are client-bound and *falls* once server thrash dominates — peaking
+    near 1,024 concurrent files on the calibrated Intrepid configuration,
+    exactly the Fig. 8 shape.
+
+Data fidelity
+    Writes may carry real payload bytes; the file stores extents so reads
+    return bit-exact data.  Figure-scale runs pass ``payload=None`` and
+    only sizes move.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from ..sim import Engine, Pipe, Resource, StreamRegistry
+from ..topology import MachineConfig, PsetMap
+
+__all__ = ["GPFS", "FSClient", "FileHandle", "FileObject", "FSError"]
+
+
+class FSError(RuntimeError):
+    """Raised on invalid file-system usage (missing file, closed handle...)."""
+
+
+def _parent_dir(path: str) -> str:
+    """Directory component of a path ('' for bare names)."""
+    i = path.rfind("/")
+    return path[:i] if i > 0 else "/"
+
+
+class FileObject:
+    """Server-side state of one file."""
+
+    __slots__ = (
+        "path",
+        "file_id",
+        "size",
+        "allocated_blocks",
+        "allocator",
+        "lock_owner",
+        "writer_clients",
+        "extents",
+        "created_at",
+    )
+
+    def __init__(self, path: str, file_id: int, engine: Engine, created_at: float) -> None:
+        self.path = path
+        self.file_id = file_id
+        self.size = 0
+        self.allocated_blocks: set[int] = set()
+        self.allocator = Resource(engine, capacity=1)
+        self.lock_owner: dict[int, int] = {}
+        self.writer_clients: set[int] = set()
+        self.extents: list[tuple[int, bytes]] = []
+        self.created_at = created_at
+
+    def read_extents(self, offset: int, nbytes: int) -> bytes:
+        """Assemble stored payload bytes for ``[offset, offset+nbytes)``.
+
+        Bytes never written come back as zeros (sparse-file semantics).
+        """
+        out = bytearray(nbytes)
+        end = offset + nbytes
+        for ext_off, data in self.extents:
+            ext_end = ext_off + len(data)
+            lo = max(offset, ext_off)
+            hi = min(end, ext_end)
+            if lo < hi:
+                out[lo - offset : hi - offset] = data[lo - ext_off : hi - ext_off]
+        return bytes(out)
+
+
+class FileHandle:
+    """A client's open descriptor on a file."""
+
+    __slots__ = ("file", "client", "writable", "stream", "open_at", "closed")
+
+    def __init__(self, file: FileObject, client: "FSClient", writable: bool,
+                 stream: Pipe, open_at: float) -> None:
+        self.file = file
+        self.client = client
+        self.writable = writable
+        self.stream = stream
+        self.open_at = open_at
+        self.closed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self.closed else "open"
+        return f"<FileHandle {self.file.path!r} {state} rank={self.client.rank}>"
+
+
+class GPFS:
+    """The shared file-system instance for one simulated job.
+
+    Create one per :class:`~repro.mpi.Job` via :func:`attach_storage` (or
+    directly) and hand per-rank clients to rank code with :meth:`client`.
+    """
+
+    def __init__(self, engine: Engine, config: MachineConfig, psets: PsetMap,
+                 streams: StreamRegistry, profiler: Any = None) -> None:
+        self.engine = engine
+        self.config = config
+        self.psets = psets
+        self.profiler = profiler
+        self.files: dict[str, FileObject] = {}
+        self._dir_entries: dict[str, int] = {}
+        self._dir_tokens: dict[str, Resource] = {}
+        self._servers: dict[int, Pipe] = {}
+        self._ions: dict[int, Pipe] = {}
+        self._next_file_id = 0
+        self.active_streams = 0
+        self._peak_streams = 0.0
+        self._peak_time = 0.0
+        self._noise_rng = streams.stream("fs.noise")
+        self._storm_rng = streams.stream("fs.storms")
+        self._sigma = config.noise_sigma
+        # Counters (diagnostics / tests).
+        self.creates = 0
+        self.opens = 0
+        self.writes = 0
+        self.reads = 0
+        self.storms = 0
+        self.revocations = 0
+        self.rmw_reads = 0
+
+    # -- infrastructure accessors ------------------------------------------
+    def server_pipe(self, idx: int) -> Pipe:
+        """Disk pipe of file server ``idx`` (created lazily)."""
+        pipe = self._servers.get(idx)
+        if pipe is None:
+            pipe = Pipe(self.engine, self.config.server_disk_bandwidth)
+            self._servers[idx] = pipe
+        return pipe
+
+    def ion_pipe(self, pset: int) -> Pipe:
+        """10 GbE uplink pipe of pset ``pset``'s I/O node."""
+        pipe = self._ions.get(pset)
+        if pipe is None:
+            pipe = Pipe(self.engine, self.config.ion_uplink_bandwidth,
+                        latency=self.config.ion_latency)
+            self._ions[pset] = pipe
+        return pipe
+
+    #: Whole-block lock tokens (GPFS): unaligned shared writes to a block
+    #: owned by another client pay a read-modify-write.  File systems with
+    #: extent locks (Lustre variant) override this.
+    whole_block_locks = True
+    #: Byte-range lock tokens at all (PVFS is lock-free and skips token
+    #: acquisition, revocation, and congestion storms entirely).
+    byte_range_locks = True
+    #: Whether multi-writer files serialize extent allocation through a
+    #: per-file allocation manager (GPFS); object/handle-based stores
+    #: allocate per data server instead.
+    serialized_shared_allocation = True
+    #: Server-side service inflation (e.g. no client write-back caching).
+    server_service_factor = 1.0
+
+    def dir_token(self, dirname: str) -> Resource:
+        """Directory metanode token (serializes entry inserts)."""
+        res = self._dir_tokens.get(dirname)
+        if res is None:
+            res = Resource(self.engine, capacity=1)
+            self._dir_tokens[dirname] = res
+        return res
+
+    def create_token(self, dirname: str) -> Resource:
+        """The resource serializing file creation for this directory.
+
+        GPFS serializes through the parent directory's metanode; variants
+        (e.g. Lustre's single MDS) override.
+        """
+        return self.dir_token(dirname)
+
+    def create_service_time(self, dirname: str) -> float:
+        """Metadata service time of one create (directory-growth model)."""
+        entries = self._dir_entries.get(dirname, 0)
+        growth = min((entries / self.config.meta_create_dir_knee) ** 3,
+                     self.config.meta_create_dir_max_factor)
+        return self.config.meta_create_service * (1.0 + growth)
+
+    def server_of_block(self, file: FileObject, block: int) -> int:
+        """Round-robin striping of file blocks over the servers."""
+        return (file.file_id + block) % self.config.n_file_servers
+
+    def client(self, rank: int) -> "FSClient":
+        """A per-rank client bound to that rank's pset/ION."""
+        return FSClient(self, rank)
+
+    def effective_streams(self) -> float:
+        """Writer-stream concurrency over the recent window.
+
+        The maximum of the instantaneous count and an exponentially
+        decaying record of the recent peak (time constant
+        ``config.stream_window``).  Disk seek/queue behaviour reflects the
+        streams a server has been multiplexing, not only the ones holding
+        a burst open at this exact instant.
+        """
+        now = self.engine.now
+        decayed = self._peak_streams * math.exp(
+            -(now - self._peak_time) / self.config.stream_window
+        )
+        eff = max(float(self.active_streams), decayed, 1.0)
+        if eff >= decayed:
+            self._peak_streams = eff
+            self._peak_time = now
+        return eff
+
+    # -- noise ---------------------------------------------------------------
+    def noise(self) -> float:
+        """Multiplicative lognormal service-time noise factor."""
+        if self._sigma <= 0:
+            return 1.0
+        return float(np.exp(self._noise_rng.normal(0.0, self._sigma)))
+
+    def storm_delay(self) -> float:
+        """Draw a token-storm delay (0.0 most of the time).
+
+        Probability scales with global active writer streams past the token
+        manager's congestion knee; severity is Pareto-tailed.  Callers only
+        invoke this for bursts on *shared* files.
+        """
+        cfg = self.config
+        if cfg.storm_probability <= 0:
+            return 0.0
+        load = self.effective_streams() / cfg.storm_knee
+        p = min(cfg.storm_probability * load**cfg.storm_beta, cfg.storm_probability_max)
+        if self._storm_rng.random() >= p:
+            return 0.0
+        self.storms += 1
+        u = self._storm_rng.random()
+        return cfg.storm_scale * (1.0 - u) ** (-1.0 / cfg.storm_shape)
+
+    def preload_file(self, path: str, nbytes: int,
+                     payload: Optional[bytes] = None) -> FileObject:
+        """Install a file instantly (no simulated cost).
+
+        Experiment fixture for pre-existing data such as the ``.rea`` input
+        files that exist before the job starts.
+        """
+        if self.exists(path):
+            raise FSError(f"file exists: {path!r}")
+        if payload is not None and len(payload) != nbytes:
+            raise FSError("payload length mismatch")
+        fobj = FileObject(path, self._next_file_id, self.engine, self.engine.now)
+        self._next_file_id += 1
+        fobj.size = nbytes
+        bs = self.config.fs_block_size
+        if nbytes:
+            fobj.allocated_blocks.update(range((nbytes - 1) // bs + 1))
+        if payload is not None:
+            fobj.extents.append((0, bytes(payload)))
+        self.files[path] = fobj
+        dirname = _parent_dir(path)
+        self._dir_entries[dirname] = self._dir_entries.get(dirname, 0) + 1
+        return fobj
+
+    # -- metadata summary ----------------------------------------------------
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` has been created."""
+        return path in self.files
+
+    def file(self, path: str) -> FileObject:
+        """Look up a file, raising :class:`FSError` if absent."""
+        try:
+            return self.files[path]
+        except KeyError:
+            raise FSError(f"no such file: {path!r}") from None
+
+    def stats(self) -> dict:
+        """Operation counters (diagnostics)."""
+        return {
+            "files": len(self.files),
+            "creates": self.creates,
+            "opens": self.opens,
+            "writes": self.writes,
+            "reads": self.reads,
+            "storms": self.storms,
+            "revocations": self.revocations,
+            "rmw_reads": self.rmw_reads,
+            "bytes_stored": sum(f.size for f in self.files.values()),
+        }
+
+
+class FSClient:
+    """Per-rank POSIX-like interface to the shared :class:`GPFS`.
+
+    All methods are generators (DES blocking calls).  Every operation is
+    reported to the attached profiler, which is how the Darshan-style
+    analyses of Figs. 9-12 are produced.
+    """
+
+    __slots__ = ("fs", "rank", "pset")
+
+    def __init__(self, fs: GPFS, rank: int) -> None:
+        self.fs = fs
+        self.rank = rank
+        self.pset = fs.psets.pset_of_rank(rank)
+
+    # -- helpers -------------------------------------------------------------
+    def _record(self, op: str, t0: float, nbytes: int, path: str) -> None:
+        prof = self.fs.profiler
+        if prof is not None:
+            prof.record_op(self.rank, op, t0, self.fs.engine.now, nbytes, path)
+
+    # -- metadata operations ---------------------------------------------------
+    def create(self, path: str, exclusive: bool = False):
+        """Generator: create ``path`` and open it for writing.
+
+        Creation inserts a directory entry, serializing through the parent
+        directory's metanode token — the 1PFPP metadata storm.  Creating an
+        existing file (``exclusive=False``) degrades to a plain open.
+        """
+        fs = self.fs
+        eng = fs.engine
+        t0 = eng.now
+        if fs.exists(path):
+            if exclusive:
+                raise FSError(f"file exists: {path!r}")
+            handle = yield from self.open(path, write=True)
+            return handle
+        dirname = _parent_dir(path)
+        token = fs.create_token(dirname)
+        yield token.request()
+        try:
+            # Insert cost grows with directory size (block splits, longer
+            # lock holds): the mechanism behind the 1PFPP metadata storm.
+            yield eng.timeout(fs.create_service_time(dirname) * fs.noise())
+            if not fs.exists(path):
+                fobj = FileObject(path, fs._next_file_id, eng, eng.now)
+                fs._next_file_id += 1
+                fs.files[path] = fobj
+                fs._dir_entries[dirname] = fs._dir_entries.get(dirname, 0) + 1
+                fs.creates += 1
+        finally:
+            token.release()
+        handle = self._make_handle(fs.files[path], write=True)
+        self._record("create", t0, 0, path)
+        return handle
+
+    def open(self, path: str, write: bool = False):
+        """Generator: open an existing file."""
+        fs = self.fs
+        t0 = fs.engine.now
+        fobj = fs.file(path)
+        yield fs.engine.timeout(fs.config.meta_open_service * fs.noise())
+        fs.opens += 1
+        handle = self._make_handle(fobj, write)
+        self._record("open", t0, 0, path)
+        return handle
+
+    def _make_handle(self, fobj: FileObject, write: bool) -> FileHandle:
+        fs = self.fs
+        stream = Pipe(fs.engine, fs.config.client_stream_bandwidth)
+        if write:
+            fobj.writer_clients.add(self.rank)
+        return FileHandle(fobj, self, write, stream, fs.engine.now)
+
+    def close(self, handle: FileHandle):
+        """Generator: close a handle (releases writer registration)."""
+        fs = self.fs
+        t0 = fs.engine.now
+        if handle.closed:
+            raise FSError(f"double close of {handle.file.path!r}")
+        handle.closed = True
+        if handle.writable:
+            handle.file.writer_clients.discard(self.rank)
+        yield fs.engine.timeout(fs.config.meta_close_service * fs.noise())
+        self._record("close", t0, 0, handle.file.path)
+
+    # -- data operations -------------------------------------------------------
+    def write(self, handle: FileHandle, offset: int, nbytes: int,
+              payload: Optional[bytes] = None):
+        """Generator: write ``nbytes`` at ``offset`` through this handle.
+
+        Sequencing: extent allocation (serialized on shared files) -> lock
+        token acquisition/revocation (+ possible congestion storm on shared
+        files) -> pipelined data movement through client stream, ION uplink
+        and striped servers.  Returns when the burst is durably written.
+        """
+        fs = self.fs
+        eng = fs.engine
+        cfg = fs.config
+        if handle.closed or not handle.writable:
+            raise FSError(f"write on closed/read-only handle {handle!r}")
+        if nbytes < 0 or offset < 0:
+            raise FSError(f"bad write range offset={offset} nbytes={nbytes}")
+        if payload is not None and len(payload) != nbytes:
+            raise FSError(f"payload length {len(payload)} != nbytes {nbytes}")
+        t0 = eng.now
+        fobj = handle.file
+        if nbytes == 0:
+            self._record("write", t0, 0, fobj.path)
+            return
+        bs = cfg.fs_block_size
+        first = offset // bs
+        last = (offset + nbytes - 1) // bs
+        blocks = range(first, last + 1)
+        shared = len(fobj.writer_clients) > 1
+
+        # --- extent allocation -------------------------------------------
+        new_blocks = [b for b in blocks if b not in fobj.allocated_blocks]
+        if new_blocks:
+            if shared and fs.serialized_shared_allocation:
+                yield fobj.allocator.request()
+                try:
+                    yield eng.timeout(cfg.alloc_service * len(new_blocks) * fs.noise())
+                    fobj.allocated_blocks.update(new_blocks)
+                finally:
+                    fobj.allocator.release()
+            else:
+                segments = -(-len(new_blocks) // cfg.alloc_batch_blocks)
+                yield eng.timeout(cfg.alloc_service * segments * fs.noise())
+                fobj.allocated_blocks.update(new_blocks)
+
+        # --- byte-range lock tokens ----------------------------------------
+        if shared and fs.byte_range_locks:
+            # Unaligned boundary blocks last written by another client
+            # force a read-modify-write of the whole block (GPFS
+            # whole-block tokens; the alignment optimization of Liao &
+            # Choudhary, SC'08, exists to avoid exactly this).
+            rmw_blocks = 0
+            if fs.whole_block_locks:
+                if offset % bs:
+                    owner = fobj.lock_owner.get(first)
+                    if owner is not None and owner != self.rank:
+                        rmw_blocks += 1
+                if (offset + nbytes) % bs and last != first:
+                    owner = fobj.lock_owner.get(last)
+                    if owner is not None and owner != self.rank:
+                        rmw_blocks += 1
+            acquire_runs = 0
+            revoke_runs = 0
+            prev_state = None  # "mine" / "free" / "theirs"
+            for b in blocks:
+                owner = fobj.lock_owner.get(b)
+                state = "mine" if owner == self.rank else ("free" if owner is None else "theirs")
+                if state != "mine" and state != prev_state:
+                    acquire_runs += 1
+                    if state == "theirs":
+                        revoke_runs += 1
+                prev_state = state
+                fobj.lock_owner[b] = self.rank
+            cost = (cfg.token_acquire * acquire_runs
+                    + cfg.token_revoke * revoke_runs
+                    + rmw_blocks * bs / cfg.server_disk_bandwidth)
+            fs.revocations += revoke_runs
+            fs.rmw_reads += rmw_blocks
+            if cost > 0:
+                yield eng.timeout(cost * fs.noise())
+            storm = fs.storm_delay()
+            if storm > 0:
+                yield eng.timeout(storm)
+        else:
+            for b in blocks:
+                fobj.lock_owner[b] = self.rank
+
+        # --- data movement ---------------------------------------------------
+        fs.active_streams += 1
+        try:
+            t_stream = handle.stream.reserve(nbytes)
+            t_ion = fs.ion_pipe(self.pset).reserve(nbytes)
+            t_done = max(t_stream, t_ion)
+            active = fs.effective_streams()
+            seek = cfg.seek_penalty_per_stream * active
+            qd_factor = cfg.server_queue_service_fraction * min(
+                cfg.server_queue_knee / active, cfg.server_queue_max_factor
+            )
+            for b in blocks:
+                lo = max(offset, b * bs)
+                hi = min(offset + nbytes, (b + 1) * bs)
+                chunk = hi - lo
+                base = chunk / cfg.server_disk_bandwidth
+                extra = (seek + base * qd_factor + (fs.noise() - 1.0) * base
+                         + base * (fs.server_service_factor - 1.0))
+                t_srv = fs.server_pipe(fs.server_of_block(fobj, b)).reserve(
+                    chunk, extra_delay=max(extra, 0.0)
+                )
+                if t_srv > t_done:
+                    t_done = t_srv
+            yield eng.timeout(t_done - eng.now)
+        finally:
+            fs.active_streams -= 1
+
+        if offset + nbytes > fobj.size:
+            fobj.size = offset + nbytes
+        if payload is not None:
+            fobj.extents.append((offset, bytes(payload)))
+        fs.writes += 1
+        self._record("write", t0, nbytes, fobj.path)
+
+    def read(self, handle: FileHandle, offset: int, nbytes: int):
+        """Generator: read ``nbytes`` at ``offset``; returns stored bytes.
+
+        The time model mirrors the write data path (no allocation/locking —
+        read tokens are shared).
+        """
+        fs = self.fs
+        eng = fs.engine
+        cfg = fs.config
+        if handle.closed:
+            raise FSError(f"read on closed handle {handle!r}")
+        if nbytes < 0 or offset < 0:
+            raise FSError(f"bad read range offset={offset} nbytes={nbytes}")
+        t0 = eng.now
+        fobj = handle.file
+        if nbytes == 0:
+            self._record("read", t0, 0, fobj.path)
+            return b""
+        bs = cfg.fs_block_size
+        t_stream = handle.stream.reserve(nbytes)
+        t_ion = fs.ion_pipe(self.pset).reserve(nbytes)
+        t_done = max(t_stream, t_ion)
+        for b in range(offset // bs, (offset + nbytes - 1) // bs + 1):
+            lo = max(offset, b * bs)
+            hi = min(offset + nbytes, (b + 1) * bs)
+            t_srv = fs.server_pipe(fs.server_of_block(fobj, b)).reserve(hi - lo)
+            if t_srv > t_done:
+                t_done = t_srv
+        yield eng.timeout(t_done - eng.now)
+        fs.reads += 1
+        self._record("read", t0, nbytes, fobj.path)
+        if not fobj.extents:
+            # Size-only simulation mode (no payload was ever stored): do
+            # not materialize gigabytes of zeros at figure scale.
+            return None
+        return fobj.read_extents(offset, nbytes)

@@ -1,0 +1,56 @@
+"""PVFS-like (lock-free) storage variant.
+
+Intrepid's storage servers were shared between GPFS and PVFS; the paper
+"initially investigated ... PVFS as well and intended to compare GPFS
+performance with lock-free PVFS", but hardware configuration differences
+(client caching disabled on PVFS) made the comparison "weak and pointless"
+at the time.  In simulation both systems run on identical hardware, so the
+comparison the paper wanted is possible:
+
+- **lock-free**: no byte-range tokens, no revocations, no whole-block
+  read-modify-write, and — crucially — no token-manager congestion storms
+  on shared files;
+- **handle-based distributed metadata/allocation**: multi-writer files do
+  not serialize extent allocation through a per-file manager (the nf = 1
+  ceiling disappears), and creates go through a constant-cost metadata
+  server rather than a growing directory metanode;
+- **no client write-back caching** (matching Intrepid's deployment):
+  server-side service is inflated by ``no_cache_factor``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim import Engine, Resource, StreamRegistry
+from ..topology import MachineConfig, PsetMap
+from .gpfs import GPFS
+
+__all__ = ["PVFS"]
+
+
+class PVFS(GPFS):
+    """PVFS-flavoured shared file system (lock-free, cache-less)."""
+
+    whole_block_locks = False
+    byte_range_locks = False
+    serialized_shared_allocation = False
+
+    def __init__(self, engine: Engine, config: MachineConfig, psets: PsetMap,
+                 streams: StreamRegistry, profiler: Any = None,
+                 no_cache_factor: float = 1.3,
+                 mds_service: float = 1.2e-3) -> None:
+        super().__init__(engine, config, psets, streams, profiler=profiler)
+        if no_cache_factor < 1.0:
+            raise ValueError("no_cache_factor must be >= 1")
+        self.server_service_factor = no_cache_factor
+        self.mds_service = mds_service
+        self._mds = Resource(engine, capacity=1)
+
+    def create_token(self, dirname: str) -> Resource:
+        """Creates serialize through the (single) PVFS metadata server."""
+        return self._mds
+
+    def create_service_time(self, dirname: str) -> float:
+        """Constant metadata service: no directory-growth pathologies."""
+        return self.mds_service

@@ -1,0 +1,6 @@
+"""Blue Gene/P machine model: torus geometry, pset layout, hardware constants."""
+
+from .machine import MachineConfig, PsetMap, intrepid
+from .torus import TorusTopology, torus_dims_for
+
+__all__ = ["MachineConfig", "PsetMap", "intrepid", "TorusTopology", "torus_dims_for"]

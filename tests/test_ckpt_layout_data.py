@@ -1,0 +1,190 @@
+"""Tests for CheckpointData, FileLayout, and RankReport/CheckpointResult."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckpt import CheckpointData, CheckpointResult, Field, FileLayout, RankReport
+
+
+# ---------------------------------------------------------------------------
+# Field / CheckpointData
+# ---------------------------------------------------------------------------
+
+def test_field_validation():
+    with pytest.raises(ValueError):
+        Field("x", -1)
+    with pytest.raises(ValueError):
+        Field("x", 4, b"too long")
+    Field("x", 4, b"1234")  # ok
+
+
+def test_data_totals_and_flags():
+    d = CheckpointData([Field("a", 10, b"x" * 10), Field("b", 5, b"y" * 5)],
+                       header_bytes=100)
+    assert d.total_bytes == 15
+    assert d.n_fields == 2
+    assert d.field_sizes == (10, 5)
+    assert d.has_payload
+    assert d.concatenated_payload() == b"x" * 10 + b"y" * 5
+
+
+def test_data_missing_payload():
+    d = CheckpointData([Field("a", 10), Field("b", 5, b"y" * 5)])
+    assert not d.has_payload
+    assert d.concatenated_payload() is None
+
+
+def test_data_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        CheckpointData([Field("a", 1), Field("a", 1)])
+
+
+def test_data_negative_header_rejected():
+    with pytest.raises(ValueError):
+        CheckpointData([Field("a", 1)], header_bytes=-1)
+
+
+def test_synthetic_builder():
+    d = CheckpointData.synthetic([100, 200], names=["u", "v"])
+    assert d.field_sizes == (100, 200)
+    assert [f.name for f in d.fields] == ["u", "v"]
+
+
+def test_nekcem_like_shape():
+    d = CheckpointData.nekcem_like(1000)
+    assert d.n_fields == 7
+    assert [f.name for f in d.fields][0] == "geometry"
+    # ~142 bytes per point total.
+    assert d.total_bytes == 94 * 1000 + 6 * 8 * 1000
+
+
+# ---------------------------------------------------------------------------
+# FileLayout
+# ---------------------------------------------------------------------------
+
+def test_layout_uniform_offsets():
+    lo = FileLayout.uniform(100, [10, 20], 3)
+    # Section 0 (size 10 each): members at 100, 110, 120.
+    assert [lo.block_offset(0, m) for m in range(3)] == [100, 110, 120]
+    # Section 1 starts after section 0 (30 bytes).
+    assert lo.section_range(1) == (130, 190)
+    assert [lo.block_offset(1, m) for m in range(3)] == [130, 150, 170]
+    assert lo.total_size == 100 + 30 + 60
+
+
+def test_layout_ragged_members():
+    lo = FileLayout(0, [[5, 1], [10, 2], [15, 3]])
+    assert lo.block_offset(0, 0) == 0
+    assert lo.block_offset(0, 1) == 5
+    assert lo.block_offset(0, 2) == 15
+    assert lo.section_range(0) == (0, 30)
+    assert lo.block_offset(1, 0) == 30
+    assert lo.member_total(1) == 12
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        FileLayout(-1, [[1]])
+    with pytest.raises(ValueError):
+        FileLayout(0, [])
+    with pytest.raises(ValueError):
+        FileLayout(0, [[1, 2], [3]])  # ragged field counts
+    with pytest.raises(ValueError):
+        FileLayout(0, [[-1]])
+    lo = FileLayout(0, [[1]])
+    with pytest.raises(ValueError):
+        lo.block_offset(1, 0)
+    with pytest.raises(ValueError):
+        lo.block_offset(0, 1)
+    with pytest.raises(ValueError):
+        lo.member_total(5)
+
+
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.lists(st.lists(st.integers(min_value=0, max_value=100),
+                      min_size=2, max_size=4),
+             min_size=1, max_size=6).filter(
+        lambda ls: len({len(x) for x in ls}) == 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_layout_blocks_tile_file_property(header, sizes):
+    """Blocks are disjoint, ordered, and exactly cover [header, total)."""
+    lo = FileLayout(header, sizes)
+    spans = []
+    for f in range(lo.n_fields):
+        for m in range(lo.n_members):
+            o = lo.block_offset(f, m)
+            s = lo.block_size(f, m)
+            if s:
+                spans.append((o, o + s))
+    spans.sort()
+    pos = header
+    for a, b in spans:
+        assert a == pos
+        pos = b
+    assert pos == lo.total_size
+
+
+# ---------------------------------------------------------------------------
+# RankReport / CheckpointResult
+# ---------------------------------------------------------------------------
+
+def reports_fixture():
+    return {
+        0: RankReport(0, "writer", 1.0, 5.0, 5.0, 100),
+        1: RankReport(1, "worker", 1.0, 1.1, 1.1, 100, isend_seconds=0.1),
+        2: RankReport(2, "worker", 1.0, 1.2, 1.2, 100, isend_seconds=0.2),
+    }
+
+
+def test_result_metrics():
+    res = CheckpointResult("rbio", reports_fixture())
+    assert res.total_bytes == 300
+    assert res.overall_time == pytest.approx(4.0)
+    assert res.write_bandwidth == pytest.approx(300 / 4.0)
+    # Blocking excludes the dedicated writer.
+    assert res.blocking_time == pytest.approx(0.2)
+    assert res.writer_ranks == [0]
+    assert sorted(res.worker_ranks) == [1, 2]
+
+
+def test_result_perceived_metrics():
+    res = CheckpointResult("rbio", reports_fixture())
+    assert res.perceived_time == pytest.approx(0.2)
+    assert res.perceived_bandwidth == pytest.approx(200 / 0.2)
+
+
+def test_result_all_writers_blocking_fallback():
+    reports = {0: RankReport(0, "writer", 0.0, 3.0, 3.0, 10)}
+    res = CheckpointResult("x", reports)
+    assert res.blocking_time == 3.0
+    assert res.perceived_time == 0.0
+    assert res.perceived_bandwidth == 0.0
+
+
+def test_result_empty_rejected():
+    with pytest.raises(ValueError):
+        CheckpointResult("x", {})
+
+
+def test_rank_report_properties():
+    r = RankReport(3, "collective", 1.0, 2.5, 4.0, 42)
+    assert r.io_time == pytest.approx(3.0)
+    assert r.blocked_seconds == pytest.approx(1.5)
+
+
+def test_result_per_rank_io_time():
+    res = CheckpointResult("rbio", reports_fixture())
+    io = res.per_rank_io_time
+    assert io[0] == pytest.approx(4.0)
+    assert io[1] == pytest.approx(0.1)
+
+
+def test_result_summary_keys():
+    s = CheckpointResult("rbio", reports_fixture()).summary()
+    for key in ("approach", "n_ranks", "total_gb", "overall_time_s",
+                "bandwidth_gbps", "blocking_time_s", "n_writers"):
+        assert key in s

@@ -1,0 +1,151 @@
+"""Tests for the input-read experiment, file preloading, and job API."""
+
+import pytest
+
+from repro.experiments.inputread import (
+    PARSE_CYCLES_PER_BYTE,
+    REA_BYTES_PER_ELEMENT,
+    input_read_time,
+)
+from repro.mpi import Job, run_spmd
+from repro.storage import FSError, attach_storage
+from repro.topology import intrepid
+
+QUIET = intrepid().quiet()
+
+
+# ---------------------------------------------------------------------------
+# input_read_time
+# ---------------------------------------------------------------------------
+
+def test_input_read_components_sum():
+    out = input_read_time(64, 10_000, config=QUIET)
+    assert out["total"] == pytest.approx(
+        out["read"] + out["parse"] + out["bcast"], rel=0.05
+    )
+    assert out["file_mb"] == pytest.approx(10_000 * REA_BYTES_PER_ELEMENT / 1e6)
+
+
+def test_input_read_scales_with_elements():
+    small = input_read_time(64, 5_000, config=QUIET)
+    big = input_read_time(64, 20_000, config=QUIET)
+    assert big["total"] > 2.5 * small["total"]
+
+
+def test_input_read_parse_dominates():
+    out = input_read_time(64, 50_000, config=QUIET)
+    assert out["parse"] > out["read"]
+    # Parse cost is deterministic: bytes * cycles / clock.
+    nbytes = 50_000 * REA_BYTES_PER_ELEMENT
+    assert out["parse"] == pytest.approx(
+        nbytes * PARSE_CYCLES_PER_BYTE / QUIET.cpu_hz, rel=0.01
+    )
+
+
+def test_input_read_validation():
+    with pytest.raises(ValueError):
+        input_read_time(4, 0, config=QUIET)
+
+
+# ---------------------------------------------------------------------------
+# GPFS.preload_file
+# ---------------------------------------------------------------------------
+
+def test_preload_file_instant_and_readable():
+    job = Job(4, QUIET)
+    fs = attach_storage(job)
+    fs.preload_file("/in/data", 1000, payload=b"z" * 1000)
+    assert job.engine.now == 0.0  # no simulated cost
+
+    def main(ctx):
+        h = yield from ctx.fs.open("/in/data")
+        data = yield from ctx.fs.read(h, 0, 1000)
+        yield from ctx.fs.close(h)
+        return data
+
+    job.spawn(main, ranks=[0])
+    assert job.run()[0] == b"z" * 1000
+
+
+def test_preload_duplicate_rejected():
+    job = Job(4, QUIET)
+    fs = attach_storage(job)
+    fs.preload_file("/f", 10)
+    with pytest.raises(FSError):
+        fs.preload_file("/f", 10)
+
+
+def test_preload_payload_mismatch_rejected():
+    job = Job(4, QUIET)
+    fs = attach_storage(job)
+    with pytest.raises(FSError):
+        fs.preload_file("/f", 10, payload=b"short")
+
+
+# ---------------------------------------------------------------------------
+# Job / run_spmd API
+# ---------------------------------------------------------------------------
+
+def test_run_spmd_returns_all_ranks():
+    def main(ctx):
+        yield ctx.engine.timeout(0.0)
+        return ctx.rank * 2
+
+    out = run_spmd(main, 8, QUIET)
+    assert out == {r: r * 2 for r in range(8)}
+
+
+def test_job_spawn_subset_of_ranks():
+    job = Job(8, QUIET)
+
+    def main(ctx):
+        yield ctx.engine.timeout(1.0)
+        return "ran"
+
+    job.spawn(main, ranks=[2, 5])
+    out = job.run()
+    assert set(out) == {2, 5}
+
+
+def test_job_spawn_with_args():
+    job = Job(2, QUIET)
+
+    def main(ctx, base, scale):
+        yield ctx.engine.timeout(0.0)
+        return base + ctx.rank * scale
+
+    job.spawn(main, 100, 10)
+    assert job.run() == {0: 100, 1: 110}
+
+
+def test_job_run_until_partial():
+    job = Job(2, QUIET)
+
+    def main(ctx):
+        yield ctx.engine.timeout(10.0)
+        return "done"
+
+    job.spawn(main)
+    out = job.run(until=1.0)
+    assert out == {}  # nobody finished yet; no deadlock error with until
+    assert job.now == 1.0
+
+
+def test_job_services_dict():
+    job = Job(2, QUIET)
+    fs = attach_storage(job)
+    assert job.services["fs"] is fs
+
+
+def test_job_validation():
+    with pytest.raises(ValueError):
+        Job(0, QUIET)
+
+
+def test_rank_context_accessors():
+    job = Job(4, QUIET)
+    ctx = job.contexts[3]
+    assert ctx.rank == 3
+    assert ctx.comm.size == 4
+    assert ctx.config is QUIET
+    assert ctx.engine is job.engine

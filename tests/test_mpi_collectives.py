@@ -1,0 +1,200 @@
+"""Tests for simulated MPI collectives (barrier, bcast, gather, reduce, split)."""
+
+import pytest
+
+from repro.mpi import Job, MPIError, run_spmd
+from repro.topology import intrepid
+
+QUIET = intrepid().quiet()
+
+
+def test_barrier_synchronizes_all_ranks():
+    def main(ctx):
+        yield ctx.engine.timeout(float(ctx.rank))  # staggered arrivals
+        yield from ctx.comm.barrier()
+        return ctx.engine.now
+
+    results = run_spmd(main, 8, QUIET)
+    times = set(results.values())
+    assert len(times) == 1  # everyone leaves together
+    assert times.pop() >= 7.0  # not before the last arrival
+
+
+def test_barrier_has_positive_cost():
+    def main(ctx):
+        yield from ctx.comm.barrier()
+        return ctx.engine.now
+
+    results = run_spmd(main, 16, QUIET)
+    assert all(t > 0 for t in results.values())
+
+
+def test_bcast_from_root():
+    def main(ctx):
+        value = {"mesh": "waveguide"} if ctx.rank == 0 else None
+        out = yield from ctx.comm.bcast(value, root=0)
+        return out["mesh"]
+
+    results = run_spmd(main, 8, QUIET)
+    assert all(v == "waveguide" for v in results.values())
+
+
+def test_bcast_nonzero_root():
+    def main(ctx):
+        value = ctx.rank if ctx.rank == 3 else None
+        out = yield from ctx.comm.bcast(value, root=3)
+        return out
+
+    results = run_spmd(main, 8, QUIET)
+    assert all(v == 3 for v in results.values())
+
+
+def test_gather_to_root():
+    def main(ctx):
+        out = yield from ctx.comm.gather(ctx.rank * 2, root=0)
+        return out
+
+    results = run_spmd(main, 8, QUIET)
+    assert results[0] == [r * 2 for r in range(8)]
+    assert all(results[r] is None for r in range(1, 8))
+
+
+def test_allgather_everywhere():
+    def main(ctx):
+        out = yield from ctx.comm.allgather(ctx.rank + 1)
+        return out
+
+    results = run_spmd(main, 8, QUIET)
+    expected = list(range(1, 9))
+    assert all(v == expected for v in results.values())
+
+
+def test_reduce_default_sum():
+    def main(ctx):
+        out = yield from ctx.comm.reduce(ctx.rank, root=0)
+        return out
+
+    results = run_spmd(main, 8, QUIET)
+    assert results[0] == sum(range(8))
+    assert results[1] is None
+
+
+def test_reduce_custom_op_max():
+    def main(ctx):
+        out = yield from ctx.comm.reduce(float(ctx.rank % 3), op=max, root=0)
+        return out
+
+    results = run_spmd(main, 8, QUIET)
+    assert results[0] == 2.0
+
+
+def test_allreduce_sum_everywhere():
+    def main(ctx):
+        out = yield from ctx.comm.allreduce(1)
+        return out
+
+    results = run_spmd(main, 16, QUIET)
+    assert all(v == 16 for v in results.values())
+
+
+def test_split_into_groups():
+    def main(ctx):
+        group = ctx.rank // 4
+        sub = yield from ctx.comm.split(color=group)
+        return (group, sub.rank, sub.size)
+
+    results = run_spmd(main, 16, QUIET)
+    for r, (group, sub_rank, sub_size) in results.items():
+        assert group == r // 4
+        assert sub_size == 4
+        assert sub_rank == r % 4
+
+
+def test_split_subcomm_p2p_routes_correctly():
+    def main(ctx):
+        sub = yield from ctx.comm.split(color=ctx.rank % 2)
+        # Within each sub-communicator, rank 0 gathers from others.
+        if sub.rank == 0:
+            vals = []
+            for _ in range(sub.size - 1):
+                msg = yield from sub.recv()
+                vals.append(msg.payload)
+            return sorted(vals)
+        else:
+            yield from sub.send(0, nbytes=8, payload=ctx.rank)
+            return None
+
+    results = run_spmd(main, 8, QUIET)
+    assert results[0] == [2, 4, 6]   # even world ranks
+    assert results[1] == [3, 5, 7]   # odd world ranks
+
+
+def test_split_key_orders_subranks():
+    def main(ctx):
+        # Reverse ordering via key.
+        sub = yield from ctx.comm.split(color=0, key=-ctx.rank)
+        return sub.rank
+
+    results = run_spmd(main, 4, QUIET)
+    assert results == {0: 3, 1: 2, 2: 1, 3: 0}
+
+
+def test_collective_on_subcomm_independent_of_world():
+    def main(ctx):
+        sub = yield from ctx.comm.split(color=ctx.rank // 2)
+        total = yield from sub.allreduce(ctx.rank)
+        return total
+
+    results = run_spmd(main, 4, QUIET)
+    assert results[0] == results[1] == 0 + 1
+    assert results[2] == results[3] == 2 + 3
+
+
+def test_collective_mismatch_raises():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.barrier()
+        else:
+            yield from ctx.comm.bcast("x", root=1)
+
+    job = Job(2, QUIET)
+    job.spawn(main)
+    with pytest.raises(MPIError, match="collective mismatch"):
+        job.run()
+
+
+def test_sequential_collectives_keep_order():
+    def main(ctx):
+        a = yield from ctx.comm.allreduce(1)
+        b = yield from ctx.comm.allreduce(2)
+        yield from ctx.comm.barrier()
+        c = yield from ctx.comm.allgather(ctx.rank)
+        return (a, b, c)
+
+    results = run_spmd(main, 4, QUIET)
+    for a, b, c in results.values():
+        assert (a, b) == (4, 8)
+        assert c == [0, 1, 2, 3]
+
+
+def test_deadlock_detection_reports_stuck_ranks():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.recv(source=1)  # never sent
+        return None
+        yield  # pragma: no cover
+
+    job = Job(2, QUIET)
+    job.spawn(main)
+    with pytest.raises(RuntimeError, match="never finished"):
+        job.run()
+
+
+def test_barrier_cost_grows_with_scale():
+    def main(ctx):
+        yield from ctx.comm.barrier()
+        return ctx.engine.now
+
+    t_small = max(run_spmd(main, 4, QUIET).values())
+    t_large = max(run_spmd(main, 256, QUIET).values())
+    assert t_large > t_small

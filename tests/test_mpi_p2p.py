@@ -1,0 +1,206 @@
+"""Tests for simulated MPI point-to-point communication."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Job, MPIError, run_spmd
+from repro.topology import intrepid
+
+
+QUIET = intrepid().quiet()
+
+
+def test_send_recv_payload_roundtrip():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, nbytes=64, tag=5, payload={"x": 42})
+            return "sent"
+        else:
+            msg = yield from ctx.comm.recv(source=0, tag=5)
+            return msg.payload["x"]
+
+    results = run_spmd(main, 2, QUIET)
+    assert results == {0: "sent", 1: 42}
+
+
+def test_recv_any_source_any_tag():
+    def main(ctx):
+        if ctx.rank == 0:
+            got = []
+            for _ in range(3):
+                msg = yield from ctx.comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                got.append(msg.source)
+            return sorted(got)
+        else:
+            yield from ctx.comm.send(0, nbytes=8, tag=ctx.rank)
+
+    results = run_spmd(main, 4, QUIET)
+    assert results[0] == [1, 2, 3]
+
+
+def test_tag_matching_out_of_order():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, nbytes=8, tag=1, payload="first")
+            yield from ctx.comm.send(1, nbytes=8, tag=2, payload="second")
+        else:
+            # Receive tag 2 before tag 1: filtered matching must work.
+            m2 = yield from ctx.comm.recv(source=0, tag=2)
+            m1 = yield from ctx.comm.recv(source=0, tag=1)
+            return (m1.payload, m2.payload)
+
+    results = run_spmd(main, 2, QUIET)
+    assert results[1] == ("first", "second")
+
+
+def test_isend_eager_completes_before_delivery():
+    """A buffered isend's local completion precedes remote delivery."""
+    nbytes = 4 << 20  # far above eager threshold; force buffered
+
+    def main(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend(1, nbytes=nbytes, tag=0, buffered=True)
+            yield req.event
+            return ctx.engine.now  # local completion time
+        else:
+            msg = yield from ctx.comm.recv(source=0)
+            return msg.delivered_at
+
+    # Put ranks on different nodes: use 8 ranks, sender 0 / receiver 4.
+    def main8(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend(4, nbytes=nbytes, tag=0, buffered=True)
+            yield req.event
+            return ("local", ctx.engine.now)
+        elif ctx.rank == 4:
+            msg = yield from ctx.comm.recv(source=0)
+            return ("delivered", msg.delivered_at)
+        return None
+        yield  # pragma: no cover
+
+    results = run_spmd(main8, 8, QUIET)
+    local_t = results[0][1]
+    delivered_t = results[4][1]
+    assert local_t < delivered_t
+    # Local completion is roughly a memory copy: ~nbytes/membw.
+    assert local_t == pytest.approx(
+        QUIET.mpi_overhead + nbytes / QUIET.memory_bandwidth, rel=1e-6
+    )
+
+
+def test_isend_rendezvous_completes_at_delivery():
+    nbytes = 4 << 20
+
+    def main(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend(4, nbytes=nbytes, tag=0, buffered=False)
+            yield req.event
+            return ctx.engine.now
+        elif ctx.rank == 4:
+            msg = yield from ctx.comm.recv(source=0)
+            return msg.delivered_at
+        return None
+        yield  # pragma: no cover
+
+    results = run_spmd(main, 8, QUIET)
+    assert results[0] == pytest.approx(results[4], rel=1e-9)
+
+
+def test_small_message_is_eager_by_default():
+    nbytes = 512  # below eager threshold (1200)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend(4, nbytes=nbytes, tag=0)
+            yield req.event
+            return ctx.engine.now
+        elif ctx.rank == 4:
+            msg = yield from ctx.comm.recv(source=0)
+            return msg.delivered_at
+        return None
+        yield  # pragma: no cover
+
+    results = run_spmd(main, 8, QUIET)
+    assert results[0] < results[4]
+
+
+def test_waitall_collects_in_order():
+    def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.irecv(source=s, tag=0) for s in (1, 2, 3)]
+            msgs = yield from ctx.comm.waitall(reqs)
+            return [m.payload for m in msgs]
+        else:
+            yield ctx.engine.timeout(float(4 - ctx.rank))  # reverse order
+            yield from ctx.comm.send(0, nbytes=8, tag=0, payload=ctx.rank * 10)
+
+    results = run_spmd(main, 4, QUIET)
+    assert results[0] == [10, 20, 30]
+
+
+def test_waitall_empty():
+    def main(ctx):
+        out = yield from ctx.comm.waitall([])
+        return out
+
+    assert run_spmd(main, 1, QUIET)[0] == []
+
+
+def test_request_complete_flag():
+    def main(ctx):
+        if ctx.rank == 0:
+            req = ctx.comm.isend(1, nbytes=8, tag=0)
+            assert not req.complete
+            yield req.event
+            assert req.complete
+        else:
+            yield from ctx.comm.recv(source=0)
+
+    run_spmd(main, 2, QUIET)
+
+
+def test_isend_bad_dest_raises():
+    job = Job(2, QUIET)
+
+    def main(ctx):
+        with pytest.raises(MPIError):
+            ctx.comm.isend(5, nbytes=8)
+        with pytest.raises(MPIError):
+            ctx.comm.isend(0, nbytes=-1)
+        return True
+        yield  # pragma: no cover
+
+    job.spawn(main, ranks=[0])
+    res = job.run()
+    assert res[0] is True
+
+
+def test_message_timestamps_ordered():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(4, nbytes=1 << 16, tag=0)
+        elif ctx.rank == 4:
+            msg = yield from ctx.comm.recv(source=0)
+            assert msg.sent_at <= msg.delivered_at
+            return msg.nbytes
+        return None
+        yield  # pragma: no cover
+
+    results = run_spmd(main, 8, QUIET)
+    assert results[4] == 1 << 16
+
+
+def test_many_to_one_incast_ordering():
+    """63-into-1 pattern (the rbIO aggregation shape) delivers all messages."""
+    def main(ctx):
+        if ctx.rank == 0:
+            total = 0
+            for _ in range(ctx.comm.size - 1):
+                msg = yield from ctx.comm.recv()
+                total += msg.nbytes
+            return total
+        else:
+            yield from ctx.comm.send(0, nbytes=1000 * ctx.rank, tag=0)
+
+    n = 64
+    results = run_spmd(main, n, QUIET)
+    assert results[0] == 1000 * sum(range(1, n))

@@ -1,0 +1,181 @@
+"""Tests for GLL basis, differentiation, and the low-storage RK4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nekcem import (
+    LSRK4,
+    RK4A,
+    RK4B,
+    RK4C,
+    differentiation_matrix,
+    gll_points_weights,
+    lagrange_interpolation_matrix,
+)
+
+
+# ---------------------------------------------------------------------------
+# GLL points and weights
+# ---------------------------------------------------------------------------
+
+def test_gll_order_1_and_2_known_values():
+    x, w = gll_points_weights(1)
+    assert np.allclose(x, [-1, 1]) and np.allclose(w, [1, 1])
+    x, w = gll_points_weights(2)
+    assert np.allclose(x, [-1, 0, 1])
+    assert np.allclose(w, [1 / 3, 4 / 3, 1 / 3])
+
+
+def test_gll_includes_endpoints_and_sorted():
+    for order in (3, 7, 15):
+        x, _ = gll_points_weights(order)
+        assert x[0] == -1.0 and x[-1] == 1.0
+        assert np.all(np.diff(x) > 0)
+        assert len(x) == order + 1
+
+
+def test_gll_symmetry():
+    x, w = gll_points_weights(9)
+    assert np.allclose(x, -x[::-1])
+    assert np.allclose(w, w[::-1])
+
+
+def test_gll_weights_sum_to_two():
+    for order in range(1, 16):
+        _, w = gll_points_weights(order)
+        assert np.isclose(w.sum(), 2.0)
+
+
+def test_gll_quadrature_exactness():
+    """GLL is exact for polynomials of degree <= 2N-1."""
+    order = 5
+    x, w = gll_points_weights(order)
+    for deg in range(2 * order):
+        exact = 2.0 / (deg + 1) if deg % 2 == 0 else 0.0
+        assert np.isclose(np.sum(w * x**deg), exact, atol=1e-12), deg
+
+
+def test_gll_order_15_paper_case():
+    """The paper's production order: 16 points per direction."""
+    x, w = gll_points_weights(15)
+    assert len(x) == 16
+    assert np.isclose(np.sum(w * x**2), 2.0 / 3.0)
+
+
+def test_gll_invalid_order():
+    with pytest.raises(ValueError):
+        gll_points_weights(0)
+
+
+# ---------------------------------------------------------------------------
+# Differentiation matrix
+# ---------------------------------------------------------------------------
+
+def test_diff_matrix_kills_constants():
+    D = differentiation_matrix(6)
+    assert np.allclose(D @ np.ones(7), 0.0, atol=1e-12)
+
+
+def test_diff_matrix_exact_on_polynomials():
+    order = 7
+    x, _ = gll_points_weights(order)
+    D = differentiation_matrix(order)
+    for deg in range(order + 1):
+        du = D @ x**deg
+        exact = deg * x ** max(deg - 1, 0) if deg else np.zeros_like(x)
+        assert np.allclose(du, exact, atol=1e-9), deg
+
+
+def test_diff_matrix_corner_entries():
+    n = 5
+    D = differentiation_matrix(n)
+    assert np.isclose(D[0, 0], -n * (n + 1) / 4)
+    assert np.isclose(D[-1, -1], n * (n + 1) / 4)
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=11, deadline=None)
+def test_diff_matrix_row_sums_zero_property(order):
+    D = differentiation_matrix(order)
+    assert np.allclose(D.sum(axis=1), 0.0, atol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# Interpolation
+# ---------------------------------------------------------------------------
+
+def test_interpolation_reproduces_nodes():
+    order = 6
+    x, _ = gll_points_weights(order)
+    L = lagrange_interpolation_matrix(order, x)
+    assert np.allclose(L, np.eye(order + 1), atol=1e-12)
+
+
+def test_interpolation_exact_for_polynomials():
+    order = 5
+    x, _ = gll_points_weights(order)
+    targets = np.linspace(-1, 1, 17)
+    L = lagrange_interpolation_matrix(order, targets)
+    u = 3 * x**4 - x**2 + 0.5
+    assert np.allclose(L @ u, 3 * targets**4 - targets**2 + 0.5, atol=1e-11)
+
+
+# ---------------------------------------------------------------------------
+# LSRK4
+# ---------------------------------------------------------------------------
+
+def test_rk4_coefficients_shapes():
+    assert len(RK4A) == len(RK4B) == len(RK4C) == 5
+    assert RK4A[0] == 0.0 and RK4C[0] == 0.0
+
+
+def test_rk4_exact_linear_decay_order():
+    """Convergence order ~4 on u' = -u."""
+    errors = []
+    for n in (10, 20, 40):
+        integ = LSRK4(lambda s, t: [-s[0]])
+        state = [np.array([1.0])]
+        dt = 1.0 / n
+        state, t = integ.integrate(state, 0.0, dt, n)
+        errors.append(abs(state[0][0] - np.exp(-1.0)))
+    order1 = np.log2(errors[0] / errors[1])
+    order2 = np.log2(errors[1] / errors[2])
+    assert order1 > 3.7 and order2 > 3.7
+
+
+def test_rk4_oscillator_energy_accuracy():
+    """Harmonic oscillator stays on its circle to O(dt^4)."""
+    def rhs(s, t):
+        return [s[1].copy(), -s[0]]
+
+    integ = LSRK4(rhs)
+    state = [np.array([1.0]), np.array([0.0])]
+    dt = 2 * np.pi / 200
+    state, t = integ.integrate(state, 0.0, dt, 200)
+    assert abs(state[0][0] - 1.0) < 1e-6
+    assert abs(state[1][0]) < 1e-6
+
+
+def test_rk4_time_dependent_rhs():
+    """u' = 2t  =>  u(1) = 1 exactly (polynomial in t)."""
+    integ = LSRK4(lambda s, t: [np.array([2 * t])])
+    state = [np.array([0.0])]
+    state, t = integ.integrate(state, 0.0, 0.1, 10)
+    assert np.isclose(state[0][0], 1.0, atol=1e-12)
+
+
+def test_rk4_callback_invoked_each_step():
+    calls = []
+    integ = LSRK4(lambda s, t: [np.zeros(1)])
+    integ.integrate([np.zeros(1)], 0.0, 0.5, 4,
+                    callback=lambda s, t, i: calls.append((i, t)))
+    assert [i for i, _ in calls] == [1, 2, 3, 4]
+    assert np.isclose(calls[-1][1], 2.0)
+
+
+def test_rk4_negative_steps_rejected():
+    integ = LSRK4(lambda s, t: [np.zeros(1)])
+    with pytest.raises(ValueError):
+        integ.integrate([np.zeros(1)], 0.0, 0.1, -1)

@@ -1,0 +1,91 @@
+"""Tests for the Krylov exponential time integrator."""
+
+import numpy as np
+import pytest
+
+from repro.nekcem import MaxwellSolver, box_mesh
+from repro.nekcem.expint import KrylovExpIntegrator
+
+
+def test_exact_on_small_linear_system():
+    """u' = A u with known A: one step must match expm(dt A) u0."""
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((12, 12))
+    A = (A - A.T) / 2  # skew: bounded dynamics
+
+    def rhs(state, t):
+        return [A @ state[0]]
+
+    integ = KrylovExpIntegrator(rhs, krylov_dim=12)  # full space: exact
+    u0 = rng.standard_normal(12)
+    out = integ.step([u0.copy()], 0.0, 0.7)
+    from scipy.linalg import expm
+    expected = expm(0.7 * A) @ u0
+    assert np.allclose(out[0], expected, atol=1e-10)
+
+
+def test_happy_breakdown_exact():
+    """If u0 spans an invariant subspace, small m is already exact."""
+    # A with u0 an eigenvector: Krylov dim 1 suffices.
+    A = np.diag([2.0, -1.0, 0.5])
+    u0 = np.array([0.0, 1.0, 0.0])
+
+    def rhs(state, t):
+        return [A @ state[0]]
+
+    integ = KrylovExpIntegrator(rhs, krylov_dim=5)
+    out = integ.step([u0.copy()], 0.0, 1.0)
+    assert np.allclose(out[0], [0.0, np.exp(-1.0), 0.0], atol=1e-12)
+
+
+def test_zero_state_stays_zero():
+    integ = KrylovExpIntegrator(lambda s, t: [s[0] * 2], krylov_dim=4)
+    out = integ.step([np.zeros(5)], 0.0, 1.0)
+    assert np.all(out[0] == 0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        KrylovExpIntegrator(lambda s, t: s, krylov_dim=1)
+    integ = KrylovExpIntegrator(lambda s, t: s, krylov_dim=4)
+    with pytest.raises(ValueError):
+        integ.integrate([np.ones(3)], 0.0, 0.1, -1)
+
+
+def test_maxwell_cavity_beyond_cfl():
+    """Exponential stepping at 5x the RK4 CFL limit stays accurate."""
+    mesh = box_mesh((2, 2, 2))
+    solver = MaxwellSolver(mesh, order=4, alpha=0.0)
+    state = solver.cavity_mode(0.0)
+    dt_cfl = solver.max_dt()
+    dt = 5 * dt_cfl
+    integ = KrylovExpIntegrator(solver.rhs, krylov_dim=40)
+    n = 6
+    state, t = integ.integrate(state, 0.0, dt, n)
+    err = solver.l2_error(state, solver.cavity_mode(t))
+    assert err < 5e-3  # stable and accurate where RK4 would blow up
+
+
+def test_maxwell_matches_rk4_small_dt():
+    """At small dt both integrators agree to tight tolerance."""
+    mesh = box_mesh((2, 1, 1))
+    solver = MaxwellSolver(mesh, order=3, alpha=1.0)
+    dt = solver.max_dt(0.3)
+    n = 5
+    s_rk = solver.cavity_mode(0.0)
+    s_rk, t = solver.run(s_rk, 0.0, dt, n)
+    integ = KrylovExpIntegrator(solver.rhs, krylov_dim=30)
+    s_exp = solver.cavity_mode(0.0)
+    s_exp, t2 = integ.integrate(s_exp, 0.0, dt, n)
+    assert t == pytest.approx(t2)
+    diff = max(np.abs(a - b).max() for a, b in zip(s_rk, s_exp))
+    assert diff < 1e-6
+
+
+def test_callback_and_interface_parity():
+    calls = []
+    integ = KrylovExpIntegrator(lambda s, t: [-s[0]], krylov_dim=3)
+    state, t = integ.integrate([np.ones(2)], 0.0, 0.25, 4,
+                               callback=lambda s, t, i: calls.append(i))
+    assert calls == [1, 2, 3, 4]
+    assert np.allclose(state[0], np.exp(-1.0), atol=1e-8)

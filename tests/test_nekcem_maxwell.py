@@ -1,0 +1,159 @@
+"""Tests for the SEDG Maxwell solver: convergence, conservation, stability."""
+
+import numpy as np
+import pytest
+
+from repro.nekcem import MaxwellSolver, box_mesh
+from repro.nekcem.maxwell import cavity_fields
+
+
+@pytest.fixture(scope="module")
+def small_mesh():
+    return box_mesh((2, 2, 2))
+
+
+def test_coordinates_cover_domain(small_mesh):
+    s = MaxwellSolver(small_mesh, 4)
+    X, Y, Z = s.coordinates()
+    assert X.min() == 0.0 and X.max() == 1.0
+    assert Y.min() == 0.0 and Y.max() == 1.0
+    assert Z.min() == 0.0 and Z.max() == 1.0
+
+
+def test_derivative_exact_on_polynomials(small_mesh):
+    s = MaxwellSolver(small_mesh, 5)
+    X, Y, Z = s.coordinates()
+    assert np.allclose(s._deriv(X**3, 0), 3 * X**2, atol=1e-10)
+    assert np.allclose(s._deriv(Y**2, 1), 2 * Y, atol=1e-10)
+    assert np.allclose(s._deriv(Z**4, 2), 4 * Z**3, atol=1e-10)
+
+
+def test_rhs_consistent_with_exact_mode(small_mesh):
+    """rhs(exact cavity state) ~ d/dt(exact cavity state), spectrally."""
+    errs = []
+    for order in (4, 8):
+        s = MaxwellSolver(small_mesh, order)
+        t0, eps = 0.3, 1e-6
+        state = s.cavity_mode(t0)
+        dstate = [(p - m) / (2 * eps)
+                  for p, m in zip(s.cavity_mode(t0 + eps), s.cavity_mode(t0 - eps))]
+        r = s.rhs(state, t0)
+        errs.append(max(np.abs(a - b).max() for a, b in zip(r, dstate)))
+    assert errs[0] < 0.2
+    assert errs[1] < errs[0] / 100  # spectral decay
+
+
+def test_central_flux_energy_conserving_semidiscrete(small_mesh):
+    s = MaxwellSolver(small_mesh, 6, alpha=0.0)
+    rng = np.random.default_rng(3)
+    state = [rng.standard_normal((2, 2, 2, 7, 7, 7)) for _ in range(6)]
+    r = s.rhs(state, 0.0)
+    W = s._quad_weights()
+    rate = sum(float(np.einsum("abcijk,ijk->", a * b, W)) for a, b in zip(state, r))
+    norm = sum(float(np.einsum("abcijk,ijk->", a * a, W)) for a in state)
+    assert abs(rate) < 1e-10 * norm * 100
+
+
+def test_upwind_flux_dissipative_semidiscrete(small_mesh):
+    s = MaxwellSolver(small_mesh, 6, alpha=1.0)
+    rng = np.random.default_rng(3)
+    state = [rng.standard_normal((2, 2, 2, 7, 7, 7)) for _ in range(6)]
+    r = s.rhs(state, 0.0)
+    W = s._quad_weights()
+    rate = sum(float(np.einsum("abcijk,ijk->", a * b, W)) for a, b in zip(state, r))
+    assert rate < 0
+
+
+def test_cavity_mode_spectral_convergence(small_mesh):
+    errors = {}
+    for order in (2, 4, 6):
+        s = MaxwellSolver(small_mesh, order)
+        state = s.cavity_mode(0.0)
+        dt = s.max_dt()
+        n = int(round(0.5 / dt))
+        state, t = s.run(state, 0.0, dt, n)
+        errors[order] = s.l2_error(state, s.cavity_mode(t))
+    assert errors[4] < errors[2] / 20
+    assert errors[6] < errors[4] / 20
+    assert errors[6] < 1e-5
+
+
+def test_long_run_stability_upwind(small_mesh):
+    """Energy must not grow over a long integration (stability)."""
+    s = MaxwellSolver(small_mesh, 5, alpha=1.0)
+    state = s.cavity_mode(0.0)
+    e0 = s.energy(state)
+    dt = s.max_dt()
+    state, _ = s.run(state, 0.0, dt, int(round(4.0 / dt)))
+    e1 = s.energy(state)
+    assert e1 <= e0 * (1 + 1e-9)
+    assert e1 > 0.5 * e0  # and not over-dissipated
+
+
+def test_central_flux_conserves_energy_fully_discrete(small_mesh):
+    s = MaxwellSolver(small_mesh, 5, alpha=0.0)
+    state = s.cavity_mode(0.0)
+    e0 = s.energy(state)
+    dt = s.max_dt(0.5)
+    state, _ = s.run(state, 0.0, dt, int(round(2.0 / dt)))
+    assert abs(s.energy(state) - e0) / e0 < 1e-6
+
+
+def test_cavity_energy_constant_in_exact_solution(small_mesh):
+    s = MaxwellSolver(small_mesh, 8)
+    energies = [s.energy(s.cavity_mode(t)) for t in (0.0, 0.2, 0.5, 0.9)]
+    assert np.allclose(energies, energies[0], rtol=1e-8)
+
+
+def test_cavity_fields_global_vs_local_slab(small_mesh):
+    """cavity_fields with global bounds on a slab matches the restriction."""
+    full = MaxwellSolver(small_mesh, 4)
+    X, Y, Z = full.coordinates()
+    ref = cavity_fields(small_mesh.bounds, X, Y, Z, 0.2)
+    # Right half slab.
+    slab = box_mesh((1, 2, 2), ((0.5, 1.0), (0, 1), (0, 1)))
+    s2 = MaxwellSolver(slab, 4)
+    Xs, Ys, Zs = s2.coordinates()
+    got = cavity_fields(small_mesh.bounds, Xs, Ys, Zs, 0.2)
+    for c in range(6):
+        assert np.allclose(got[c], ref[c][1:], atol=1e-12)
+
+
+def test_periodic_boundary_plane_wave():
+    """A z-polarized plane wave travels through a periodic x box."""
+    mesh = box_mesh((4, 1, 1), ((0, 2), (0, 1), (0, 1)),
+                    ("periodic", "periodic", "periodic", "periodic",
+                     "periodic", "periodic"))
+    order = 8
+    s = MaxwellSolver(mesh, order, alpha=1.0)
+    X, _, _ = s.coordinates()
+    k = 2 * np.pi / 2.0  # one wavelength over the box
+    state = s.zero_fields()
+    state[2] = np.cos(k * X)        # Ez
+    state[4] = -np.cos(k * X)       # Hy: rightward-travelling wave
+    e0 = s.energy(state)
+    dt = s.max_dt()
+    period = 2.0  # time to cross the (c=1) box once
+    n = int(round(period / dt))
+    state, t = s.run(state, 0.0, dt, n)
+    exact_Ez = np.cos(k * (X - t))
+    err = np.abs(state[2] - exact_Ez).max()
+    assert err < 5e-3
+    assert abs(s.energy(state) - e0) / e0 < 1e-3
+
+
+def test_max_dt_shrinks_with_order(small_mesh):
+    dts = [MaxwellSolver(small_mesh, order).max_dt() for order in (2, 4, 8)]
+    assert dts[0] > dts[1] > dts[2]
+
+
+def test_solver_validation(small_mesh):
+    with pytest.raises(ValueError):
+        MaxwellSolver(small_mesh, 0)
+    with pytest.raises(ValueError):
+        MaxwellSolver(small_mesh, 4, alpha=2.0)
+
+
+def test_n_dof(small_mesh):
+    s = MaxwellSolver(small_mesh, 3)
+    assert s.n_dof == 8 * 64

@@ -1,0 +1,202 @@
+"""Tests for hex meshes, .rea/.map files, and partitioners."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nekcem import (
+    HexMesh,
+    box_mesh,
+    partition_linear,
+    partition_rcb,
+    partition_stats,
+    read_map,
+    read_rea,
+    waveguide_mesh,
+    write_map,
+    write_rea,
+)
+
+
+# ---------------------------------------------------------------------------
+# HexMesh
+# ---------------------------------------------------------------------------
+
+def test_mesh_counts_and_sizes():
+    m = box_mesh((4, 3, 2), ((0, 4), (0, 3), (0, 1)))
+    assert m.n_elements == 24
+    assert m.element_sizes == (1.0, 1.0, 0.5)
+    assert m.n_gridpoints(15) == 24 * 4096
+
+
+def test_element_index_roundtrip():
+    m = box_mesh((3, 4, 5))
+    for e in range(m.n_elements):
+        assert m.element_id(*m.element_index(e)) == e
+
+
+def test_element_vertices_geometry():
+    m = box_mesh((2, 2, 2), ((0, 2), (0, 2), (0, 2)))
+    v = m.element_vertices(0)
+    assert v.min() == 0.0 and v.max() == 1.0
+    v_last = m.element_vertices(m.n_elements - 1)
+    assert v_last.min() == 1.0 and v_last.max() == 2.0
+
+
+def test_neighbors_interior_and_boundary():
+    m = box_mesh((3, 3, 3))
+    center = m.element_id(1, 1, 1)
+    nbrs = [m.neighbor(center, f) for f in range(6)]
+    assert all(n is not None for n in nbrs)
+    corner = m.element_id(0, 0, 0)
+    assert m.neighbor(corner, 0) is None  # -x wall is PEC
+    assert m.neighbor(corner, 1) == m.element_id(1, 0, 0)
+
+
+def test_neighbors_periodic_wrap():
+    m = HexMesh((4, 2, 2), ((0, 1), (0, 1), (0, 1)),
+                ("periodic", "periodic", "PEC", "PEC", "PEC", "PEC"))
+    first = m.element_id(0, 0, 0)
+    last = m.element_id(3, 0, 0)
+    assert m.neighbor(first, 0) == last
+    assert m.neighbor(last, 1) == first
+
+
+def test_mesh_validation():
+    with pytest.raises(ValueError):
+        box_mesh((0, 1, 1))
+    with pytest.raises(ValueError):
+        box_mesh((1, 1, 1), ((1, 0), (0, 1), (0, 1)))
+    with pytest.raises(ValueError):
+        HexMesh((1, 1, 1), ((0, 1),) * 3, ("PEC",) * 5 + ("bogus",))
+    with pytest.raises(ValueError):
+        # Unpaired periodic boundary.
+        HexMesh((1, 1, 1), ((0, 1),) * 3,
+                ("periodic", "PEC", "PEC", "PEC", "PEC", "PEC"))
+
+
+def test_waveguide_mesh_shape():
+    m = waveguide_mesh(cross_elements=2, axial_elements=8,
+                       width=1.0, height=0.5, length=4.0)
+    assert m.shape == (8, 2, 2)
+    assert m.boundary[0] == m.boundary[1] == "periodic"
+    assert m.boundary[2] == "PEC"
+
+
+# ---------------------------------------------------------------------------
+# .rea files
+# ---------------------------------------------------------------------------
+
+def test_rea_roundtrip_in_memory():
+    m = box_mesh((2, 3, 4), ((0, 1), (0, 2), (0, 3)), order=7, dt=0.001)
+    buf = io.StringIO()
+    write_rea(m, buf)
+    buf.seek(0)
+    m2 = read_rea(buf)
+    assert m2.shape == m.shape
+    assert m2.bounds == m.bounds
+    assert m2.boundary == m.boundary
+    assert m2.params == {"order": 7, "dt": 0.001}
+
+
+def test_rea_roundtrip_on_disk(tmp_path):
+    m = waveguide_mesh()
+    path = str(tmp_path / "wg.rea")
+    write_rea(m, path)
+    m2 = read_rea(path)
+    assert m2.shape == m.shape
+    assert m2.n_elements == m.n_elements
+
+
+def test_rea_rejects_garbage():
+    with pytest.raises(ValueError):
+        read_rea(io.StringIO("not a rea file\n"))
+
+
+def test_rea_detects_truncation():
+    m = box_mesh((2, 2, 2))
+    buf = io.StringIO()
+    write_rea(m, buf)
+    text = buf.getvalue()
+    truncated = "\n".join(text.splitlines()[:-3])
+    with pytest.raises(ValueError, match="truncated"):
+        read_rea(io.StringIO(truncated))
+
+
+# ---------------------------------------------------------------------------
+# Partitioning and .map files
+# ---------------------------------------------------------------------------
+
+def test_linear_partition_balance():
+    m = box_mesh((4, 4, 4))
+    owners = partition_linear(m, 6)
+    stats = partition_stats(owners, 6)
+    assert stats["empty_ranks"] == 0
+    assert stats["max"] - stats["min"] <= 1
+
+
+def test_linear_partition_contiguous():
+    m = box_mesh((4, 2, 1))
+    owners = partition_linear(m, 4)
+    assert list(owners) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_rcb_partition_balance_and_coverage():
+    m = box_mesh((4, 4, 4))
+    for n_ranks in (2, 3, 7, 16):
+        owners = partition_rcb(m, n_ranks)
+        stats = partition_stats(owners, n_ranks)
+        assert stats["empty_ranks"] == 0
+        assert stats["max"] - stats["min"] <= 1
+
+
+def test_rcb_partition_spatial_locality():
+    """RCB pieces should be spatially compact: first cut splits x halves."""
+    m = box_mesh((8, 2, 2), ((0, 8), (0, 1), (0, 1)))
+    owners = partition_rcb(m, 2)
+    for e in range(m.n_elements):
+        x = m.element_origin(e)[0]
+        assert owners[e] == (0 if x < 4 else 1)
+
+
+def test_partition_validation():
+    m = box_mesh((2, 2, 2))
+    with pytest.raises(ValueError):
+        partition_linear(m, 0)
+    with pytest.raises(ValueError):
+        partition_linear(m, 9)
+    with pytest.raises(ValueError):
+        partition_rcb(m, 100)
+
+
+def test_map_roundtrip(tmp_path):
+    m = box_mesh((4, 4, 2))
+    owners = partition_rcb(m, 5)
+    path = str(tmp_path / "mesh.map")
+    write_map(owners, 5, path)
+    owners2, n_ranks = read_map(path)
+    assert n_ranks == 5
+    assert np.array_equal(owners, owners2)
+
+
+def test_map_rejects_bad_owner():
+    buf = io.StringIO()
+    write_map(np.array([0, 1, 7]), 4, buf)
+    buf.seek(0)
+    with pytest.raises(ValueError, match="out of range"):
+        read_map(buf)
+
+
+@given(st.integers(min_value=1, max_value=32), st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_partition_property_all_elements_assigned(n_ranks, which):
+    m = box_mesh((4, 4, 2))
+    if n_ranks > m.n_elements:
+        return
+    owners = (partition_linear if which % 2 == 0 else partition_rcb)(m, n_ranks)
+    assert len(owners) == m.n_elements
+    assert owners.min() >= 0 and owners.max() < n_ranks
+    assert partition_stats(owners, n_ranks)["empty_ranks"] == 0

@@ -1,0 +1,104 @@
+"""Tests for vtk legacy checkpoint files."""
+
+import numpy as np
+import pytest
+
+from repro.nekcem import (
+    MaxwellSolver,
+    NekCEMApp,
+    box_mesh,
+    gll_hex_cells,
+    read_vtk,
+    write_vtk,
+)
+
+
+def make_points_fields(n_elements=2, order=2):
+    p3 = (order + 1) ** 3
+    n = n_elements * p3
+    rng = np.random.default_rng(0)
+    points = rng.random((n, 3))
+    fields = {"Ex": rng.standard_normal(n), "Hy": rng.standard_normal(n)}
+    return points, fields
+
+
+def test_gll_hex_cells_counts_and_range():
+    order, n_el = 3, 4
+    cells = gll_hex_cells(n_el, order)
+    assert cells.shape == (n_el * order**3, 8)
+    assert cells.min() == 0
+    assert cells.max() == n_el * (order + 1) ** 3 - 1
+
+
+def test_gll_hex_cells_first_cell_connectivity():
+    cells = gll_hex_cells(1, 1)  # single linear element: 1 cell, p=2
+    # Corner ids of a 2x2x2 point block.
+    assert set(cells[0]) == set(range(8))
+
+
+def test_vtk_binary_roundtrip(tmp_path):
+    points, fields = make_points_fields()
+    path = str(tmp_path / "out.vtk")
+    write_vtk(path, points, 2, fields, binary=True)
+    back = read_vtk(path)
+    assert np.allclose(back["points"], points)
+    for name in fields:
+        assert np.allclose(back["fields"][name], fields[name])
+    assert back["cells"].shape[1] == 8
+
+
+def test_vtk_ascii_roundtrip(tmp_path):
+    points, fields = make_points_fields(n_elements=1)
+    path = str(tmp_path / "out_ascii.vtk")
+    write_vtk(path, points, 2, fields, binary=False)
+    back = read_vtk(path)
+    assert np.allclose(back["points"], points, atol=1e-12)
+    assert np.allclose(back["fields"]["Ex"], fields["Ex"], atol=1e-12)
+
+
+def test_vtk_validation(tmp_path):
+    points, fields = make_points_fields()
+    path = str(tmp_path / "bad.vtk")
+    with pytest.raises(ValueError):
+        write_vtk(path, points[:, :2], 2, fields)
+    with pytest.raises(ValueError):
+        write_vtk(path, points[:-1], 2, fields)  # not multiple of p^3
+    with pytest.raises(ValueError):
+        write_vtk(path, points, 2, {"bad": np.zeros(3)})
+
+
+def test_vtk_rejects_non_vtk(tmp_path):
+    path = str(tmp_path / "junk.vtk")
+    with open(path, "w") as f:
+        f.write("hello world\n")
+    with pytest.raises(ValueError):
+        read_vtk(path)
+
+
+def test_app_checkpoint_file_readable_by_paraview_conventions(tmp_path):
+    """The app's dump has the vtk master-header structure of Fig. 2."""
+    mesh = box_mesh((2, 1, 1))
+    app = NekCEMApp(mesh, order=2)
+    out = app.run(n_steps=2, checkpoint_every=2, outdir=str(tmp_path))
+    assert len(out["checkpoints"]) == 1
+    path = out["checkpoints"][0]
+    with open(path, "rb") as f:
+        head = f.read(200).decode("ascii", errors="replace")
+    assert head.startswith("# vtk DataFile Version")
+    assert "BINARY" in head
+    assert "UNSTRUCTURED_GRID" in head
+    back = read_vtk(path)
+    assert set(back["fields"]) == set(MaxwellSolver.COMPONENTS)
+    assert len(back["points"]) == mesh.n_gridpoints(2)
+
+
+def test_app_checkpoint_values_match_state(tmp_path):
+    mesh = box_mesh((2, 1, 1))
+    app = NekCEMApp(mesh, order=3)
+    out = app.run(n_steps=3, checkpoint_every=3, outdir=str(tmp_path))
+    back = read_vtk(out["checkpoints"][0])
+    state = out["state"]
+    p3 = 4**3
+    for i, name in enumerate(MaxwellSolver.COMPONENTS):
+        flat = state[i].reshape(mesh.n_elements, p3).ravel()
+        assert np.allclose(back["fields"][name], flat)

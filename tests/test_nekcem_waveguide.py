@@ -1,0 +1,102 @@
+"""Tests for the TE10 waveguide mode (the production workload's physics)."""
+
+import numpy as np
+import pytest
+
+from repro.nekcem import MaxwellSolver, run_parallel_solver, waveguide_mesh
+from repro.nekcem.maxwell import waveguide_te10_fields, waveguide_te10_omega
+from repro.topology import intrepid
+
+QUIET = intrepid().quiet()
+
+
+def small_guide():
+    return waveguide_mesh(cross_elements=2, axial_elements=4,
+                          width=1.0, height=0.5, length=2.0)
+
+
+def test_dispersion_relation():
+    w = waveguide_te10_omega(width=1.0, length=2.0, n_periods=1)
+    beta = 2 * np.pi / 2.0
+    assert w == pytest.approx(np.sqrt(beta**2 + np.pi**2))
+    # Above the cutoff frequency of the guide.
+    assert w > np.pi / 1.0
+
+
+def test_omega_validation():
+    with pytest.raises(ValueError):
+        waveguide_te10_omega(0.0, 1.0)
+    with pytest.raises(ValueError):
+        waveguide_te10_omega(1.0, 1.0, n_periods=0)
+
+
+def test_te10_satisfies_discrete_maxwell():
+    """rhs(exact TE10) ~ d/dt(exact TE10) spectrally."""
+    mesh = small_guide()
+    s = MaxwellSolver(mesh, order=7)
+    X, Y, Z = s.coordinates()
+    t0, eps = 0.2, 1e-6
+    state = waveguide_te10_fields(mesh.bounds, X, Y, Z, t0)
+    dstate = [
+        (p - m) / (2 * eps)
+        for p, m in zip(
+            waveguide_te10_fields(mesh.bounds, X, Y, Z, t0 + eps),
+            waveguide_te10_fields(mesh.bounds, X, Y, Z, t0 - eps),
+        )
+    ]
+    r = s.rhs(state, t0)
+    err = max(np.abs(a - b).max() for a, b in zip(r, dstate))
+    assert err < 1e-4
+
+
+def test_te10_boundary_conditions():
+    """Tangential E vanishes on PEC walls, normal H too."""
+    mesh = small_guide()
+    s = MaxwellSolver(mesh, order=5)
+    X, Y, Z = s.coordinates()
+    state = waveguide_te10_fields(mesh.bounds, X, Y, Z, 0.3)
+    Ex, Ey, Ez, Hx, Hy, Hz = state
+    # y walls (width axis): Ez tangential -> 0; Hy normal -> 0.
+    wall = np.isclose(Y, 0.0) | np.isclose(Y, 1.0)
+    assert np.abs(Ez[wall]).max() < 1e-12
+    assert np.abs(Hy[wall]).max() < 1e-12
+    # z walls: tangential E = (Ex, Ey) = 0; Hz normal = 0 identically.
+    assert np.abs(Ex).max() == 0 and np.abs(Ey).max() == 0
+    assert np.abs(Hz).max() == 0
+
+
+def test_te10_propagates_one_period():
+    mesh = small_guide()
+    s = MaxwellSolver(mesh, order=6)
+    X, Y, Z = s.coordinates()
+    state = waveguide_te10_fields(mesh.bounds, X, Y, Z, 0.0)
+    e0 = s.energy(state)
+    w = waveguide_te10_omega(1.0, 2.0)
+    dt = s.max_dt()
+    n = int(round((2 * np.pi / w) / dt))
+    state, t = s.run(state, 0.0, dt, n)
+    err = s.l2_error(state, waveguide_te10_fields(mesh.bounds, X, Y, Z, t))
+    assert err < 1e-5
+    assert abs(s.energy(state) - e0) / e0 < 1e-6
+
+
+def test_te10_parallel_slabs_match_serial():
+    mesh = waveguide_mesh(cross_elements=2, axial_elements=4,
+                          width=1.0, height=0.5, length=2.0)
+    order = 4
+    s = MaxwellSolver(mesh, order)
+    dt = s.max_dt()
+    X, Y, Z = s.coordinates()
+    state = waveguide_te10_fields(mesh.bounds, X, Y, Z, 0.0)
+    state, _ = s.run(state, 0.0, dt, 6)
+    res = run_parallel_solver(2, mesh, order, 6, dt=dt, config=QUIET,
+                              init="te10")
+    glob = res.global_state()
+    for a, b in zip(state, glob):
+        assert np.array_equal(a, b)
+
+
+def test_unknown_init_rejected():
+    mesh = small_guide()
+    with pytest.raises(ValueError, match="unknown init"):
+        run_parallel_solver(2, mesh, 2, 1, config=QUIET, init="bogus")

@@ -1,0 +1,147 @@
+"""Unit tests for the torus fabric transport model."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.network import Fabric
+from repro.topology import intrepid
+
+
+def make_fabric(n_ranks=16, **overrides):
+    cfg = intrepid().quiet().with_(**overrides) if overrides else intrepid().quiet()
+    eng = Engine()
+    return eng, Fabric(eng, cfg, n_ranks)
+
+
+def test_transfer_intra_node_uses_memory_bandwidth():
+    eng, fab = make_fabric()
+    cfg = fab.config
+    done = []
+
+    def proc():
+        # Ranks 0 and 1 share node 0 (4 cores per node).
+        yield fab.transfer(0, 1, 1 << 20)
+        done.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    expected = cfg.mpi_overhead + (1 << 20) / cfg.memory_bandwidth
+    assert done[0] == pytest.approx(expected, rel=1e-9)
+
+
+def test_transfer_cross_node_includes_hop_latency():
+    eng, fab = make_fabric(n_ranks=64)
+    cfg = fab.config
+    done = []
+
+    def proc():
+        yield fab.transfer(0, 63, 0)  # zero bytes: pure latency
+        done.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    src = fab.psets.node_of_rank(0)
+    dst = fab.psets.node_of_rank(63)
+    hops = fab.topology.hops(src, dst)
+    assert hops > 0
+    assert done[0] == pytest.approx(cfg.mpi_overhead + hops * cfg.torus_hop_latency)
+
+
+def test_transfer_bandwidth_term():
+    eng, fab = make_fabric(n_ranks=64)
+    cfg = fab.config
+    node_bw = cfg.torus_link_bandwidth * cfg.torus_links_per_node
+    nbytes = 10 << 20
+    done = []
+
+    def proc():
+        yield fab.transfer(0, 32, nbytes)
+        done.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert done[0] >= nbytes / node_bw
+
+
+def test_ejection_incast_serializes():
+    """Many senders to one destination node share its ejection pipe."""
+    eng, fab = make_fabric(n_ranks=256)
+    cfg = fab.config
+    node_bw = cfg.torus_link_bandwidth * cfg.torus_links_per_node
+    nbytes = 4 << 20
+    n_senders = 16
+    finish = []
+
+    def sender(src):
+        yield fab.transfer(src, 0, nbytes)
+        finish.append(eng.now)
+
+    # Senders on distinct nodes, all to rank 0's node.
+    for i in range(1, n_senders + 1):
+        eng.process(sender(i * 4))
+    eng.run()
+    serial = n_senders * nbytes / node_bw
+    assert max(finish) >= serial * 0.99
+    # And clearly more than a single transfer would take.
+    assert max(finish) > 2 * (nbytes / node_bw)
+
+
+def test_distinct_destinations_proceed_in_parallel():
+    eng, fab = make_fabric(n_ranks=256)
+    cfg = fab.config
+    node_bw = cfg.torus_link_bandwidth * cfg.torus_links_per_node
+    nbytes = 4 << 20
+    finish = []
+
+    def sender(src, dst):
+        yield fab.transfer(src, dst, nbytes)
+        finish.append(eng.now)
+
+    # Four disjoint (src, dst) node pairs.
+    eng.process(sender(4, 128))
+    eng.process(sender(8, 132))
+    eng.process(sender(12, 136))
+    eng.process(sender(16, 140))
+    eng.run()
+    one = nbytes / node_bw
+    assert max(finish) < 1.5 * one  # no serialization across disjoint pairs
+
+
+def test_latency_between_zero_distance():
+    eng, fab = make_fabric()
+    assert fab.latency_between(0, 1) == fab.config.mpi_overhead  # same node
+
+
+def test_negative_size_rejected():
+    eng, fab = make_fabric()
+    with pytest.raises(ValueError):
+        fab.transfer(0, 1, -1)
+    with pytest.raises(ValueError):
+        fab.local_copy_time(-1)
+
+
+def test_stats_accumulate():
+    eng, fab = make_fabric(n_ranks=64)
+
+    def proc():
+        yield fab.transfer(0, 32, 100)
+        yield fab.transfer(0, 33, 200)
+
+    eng.process(proc())
+    eng.run()
+    s = fab.stats()
+    assert s["messages_sent"] == 2
+    assert s["bytes_sent"] == 300
+    assert s["nodes_touched"] >= 2
+
+
+def test_pipes_created_lazily():
+    eng, fab = make_fabric(n_ranks=1024)
+    assert fab.stats()["nodes_touched"] == 0
+
+    def proc():
+        yield fab.transfer(0, 512, 10)
+
+    eng.process(proc())
+    eng.run()
+    assert fab.stats()["nodes_touched"] == 2

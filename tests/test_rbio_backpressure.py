@@ -1,0 +1,91 @@
+"""Tests for rbIO worker flow control (the measurable-lambda extension)."""
+
+import pytest
+
+from repro.ckpt import ReducedBlockingIO
+from repro.experiments import run_checkpoint_steps, scaled_problem
+from repro.topology import intrepid
+
+QUIET = intrepid().quiet()
+N = 64
+DATA = scaled_problem(N).data()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReducedBlockingIO(workers_per_writer=8, max_outstanding=0)
+
+
+def test_describe_includes_flow_control():
+    s = ReducedBlockingIO(workers_per_writer=8, max_outstanding=2)
+    assert s.describe()["max_outstanding"] == 2
+
+
+def test_unbounded_buffering_never_blocks_workers():
+    """The paper's setup: back-to-back checkpoints, workers still ~free."""
+    strategy = ReducedBlockingIO(workers_per_writer=8)
+    run = run_checkpoint_steps(strategy, N, DATA, n_steps=3, config=QUIET)
+    for res in run.results:
+        assert res.blocking_time < 1e-2
+
+
+def test_backpressure_blocks_workers_when_writers_saturated():
+    """max_outstanding=1 with zero compute gap: from step 2 on, workers
+    wait for the previous commit (lambda ~ 1)."""
+    strategy = ReducedBlockingIO(workers_per_writer=8, max_outstanding=1)
+    run = run_checkpoint_steps(strategy, N, DATA, n_steps=3, config=QUIET,
+                               barrier_each_step=False)
+    first, later = run.results[0], run.results[-1]
+    # Step 0 has no backlog.
+    assert first.blocking_time < 1e-2
+    # Later steps block roughly a writer-commit time.
+    writer_commit = first.overall_time
+    assert later.blocking_time > 0.3 * writer_commit
+
+
+def test_compute_gap_restores_reduced_blocking():
+    """With enough computation between checkpoints the writers drain and
+    lambda returns to ~0 — the paper's NekCEM operating point."""
+    strategy = ReducedBlockingIO(workers_per_writer=8, max_outstanding=1)
+    probe = run_checkpoint_steps(
+        ReducedBlockingIO(workers_per_writer=8), N, DATA, config=QUIET
+    ).result
+    gap = 3.0 * probe.overall_time
+    run = run_checkpoint_steps(strategy, N, DATA, n_steps=3, config=QUIET,
+                               gap_seconds=gap, barrier_each_step=False)
+    for res in run.results:
+        assert res.blocking_time < 1e-2
+
+
+def test_backpressure_data_still_correct():
+    """Flow control must not corrupt the checkpoint contents."""
+    import numpy as np
+    from repro.ckpt import CheckpointData, Field
+    from repro.mpi import Job
+    from repro.storage import attach_storage
+
+    n = 8
+    strategy = ReducedBlockingIO(workers_per_writer=4, max_outstanding=1)
+
+    def data_for(rank, step):
+        body = bytes([rank * 16 + step]) * 512
+        return CheckpointData([Field("f", 512, body)], header_bytes=64)
+
+    job = Job(n, QUIET)
+    attach_storage(job)
+
+    def main(ctx):
+        oks = []
+        for step in range(3):
+            d = data_for(ctx.rank, step)
+            yield from ctx.comm.barrier()
+            yield from strategy.checkpoint(ctx, d, step, "/ckpt")
+        yield from ctx.comm.barrier()
+        for step in range(3):
+            d = data_for(ctx.rank, step)
+            fields = yield from strategy.restore(ctx, d, step, "/ckpt")
+            oks.append(fields == [f.payload for f in d.fields])
+        return all(oks)
+
+    job.spawn(main)
+    assert all(job.run().values())

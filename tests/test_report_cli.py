@@ -1,0 +1,69 @@
+"""Tests for the CSV report generator CLI."""
+
+import csv
+import os
+
+import pytest
+
+from repro.report import FIGURES, main
+
+
+def read_csv(path):
+    with open(path) as f:
+        return list(csv.reader(f))
+
+
+def test_report_single_figure(tmp_path):
+    out = str(tmp_path / "results")
+    rc = main(["table1", "--out", out, "--scale", "small"])
+    assert rc == 0
+    rows = read_csv(os.path.join(out, "table1_perceived_bandwidth.csv"))
+    assert rows[0] == ["np", "max_isend_us", "cpu_cycles", "perceived_tbps"]
+    assert len(rows) == 4  # header + 3 sizes
+
+
+def test_report_fig5_structure(tmp_path):
+    out = str(tmp_path / "r")
+    main(["fig5", "--out", out, "--scale", "small"])
+    rows = read_csv(os.path.join(out, "fig5_write_bandwidth_gbps.csv"))
+    assert rows[0][0] == "approach"
+    assert len(rows) == 6  # header + five approaches
+    for row in rows[1:]:
+        for v in row[1:]:
+            assert float(v) > 0
+
+
+def test_report_fig8_csv(tmp_path):
+    out = str(tmp_path / "r")
+    main(["fig8", "--out", out, "--scale", "small"])
+    rows = read_csv(os.path.join(out, "fig8_rbio_file_sweep_gbps.csv"))
+    assert rows[0][0] == "np"
+    assert len(rows) == 4
+
+
+def test_report_distribution_csv(tmp_path):
+    out = str(tmp_path / "r")
+    main(["fig9", "--out", out, "--scale", "small"])
+    rows = read_csv(os.path.join(out, "fig9_1pfpp_per_rank_io_time.csv"))
+    assert rows[0] == ["rank", "io_time_s"]
+    assert len(rows) == 1024 + 1  # smallest 'small' size + header
+
+
+def test_report_unknown_figure_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["nope", "--out", str(tmp_path)])
+
+
+def test_all_figures_registered():
+    assert set(FIGURES) == {
+        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "table1", "eq1", "eq2_7", "inputread",
+    }
+
+
+def test_report_inputread(tmp_path):
+    out = str(tmp_path / "r")
+    main(["inputread", "--out", out, "--scale", "small"])
+    rows = read_csv(os.path.join(out, "inputread_presetup.csv"))
+    assert rows[0][0] == "n_ranks"
+    assert float(rows[1][-1]) > 0  # total time

@@ -1,0 +1,156 @@
+"""Unit tests for measurement helpers (Tally, TimeSeries, IntervalRecorder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import IntervalRecorder, Tally, TimeSeries
+
+
+# ---------------------------------------------------------------------------
+# Tally
+# ---------------------------------------------------------------------------
+
+def test_tally_basic_stats():
+    t = Tally()
+    t.extend([1.0, 2.0, 3.0, 4.0])
+    assert t.count == 4
+    assert t.total == 10.0
+    assert t.min == 1.0
+    assert t.max == 4.0
+    assert t.mean == pytest.approx(2.5)
+    assert t.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+    assert t.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+
+def test_tally_empty_defaults():
+    t = Tally()
+    assert t.count == 0
+    assert t.mean == 0.0
+    assert t.variance == 0.0
+
+
+def test_tally_single_observation():
+    t = Tally()
+    t.add(7.0)
+    assert t.mean == 7.0
+    assert t.variance == 0.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_tally_matches_numpy_property(xs):
+    t = Tally()
+    t.extend(xs)
+    assert t.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+    assert t.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-4)
+    assert t.min == min(xs)
+    assert t.max == max(xs)
+
+
+# ---------------------------------------------------------------------------
+# TimeSeries
+# ---------------------------------------------------------------------------
+
+def test_timeseries_record_and_arrays():
+    ts = TimeSeries("bw")
+    ts.record(0.0, 1.0)
+    ts.record(1.0, 2.0)
+    t, v = ts.as_arrays()
+    assert list(t) == [0.0, 1.0]
+    assert list(v) == [1.0, 2.0]
+    assert len(ts) == 2
+
+
+def test_timeseries_rejects_backwards_time():
+    ts = TimeSeries()
+    ts.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.record(4.0, 1.0)
+
+
+def test_timeseries_binned_sum():
+    ts = TimeSeries()
+    ts.record(0.1, 1.0)
+    ts.record(0.2, 1.0)
+    ts.record(1.5, 5.0)
+    starts, sums = ts.binned_sum(1.0, t_end=3.0)
+    assert sums[0] == pytest.approx(2.0)
+    assert sums[1] == pytest.approx(5.0)
+    assert np.all(sums[2:] == 0)
+
+
+def test_timeseries_binned_sum_empty():
+    ts = TimeSeries()
+    starts, sums = ts.binned_sum(1.0)
+    assert len(starts) == 0 and len(sums) == 0
+
+
+def test_timeseries_bad_bin_width():
+    ts = TimeSeries()
+    ts.record(0.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.binned_sum(0.0)
+
+
+# ---------------------------------------------------------------------------
+# IntervalRecorder
+# ---------------------------------------------------------------------------
+
+def test_intervals_activity_counts_overlaps():
+    rec = IntervalRecorder()
+    rec.record(0.0, 2.0, "a")
+    rec.record(1.0, 3.0, "b")
+    starts, counts = rec.activity(1.0)
+    # Bins [0,1): a only; [1,2): a+b; [2,3): b only.
+    assert list(counts) == [1, 2, 1]
+
+
+def test_intervals_span_and_busy_time():
+    rec = IntervalRecorder()
+    rec.record(1.0, 2.0)
+    rec.record(4.0, 7.0)
+    assert rec.span == (1.0, 7.0)
+    assert rec.total_busy_time() == pytest.approx(4.0)
+
+
+def test_intervals_reject_inverted():
+    rec = IntervalRecorder()
+    with pytest.raises(ValueError):
+        rec.record(2.0, 1.0)
+
+
+def test_intervals_zero_length_counts_in_one_bin():
+    rec = IntervalRecorder()
+    rec.record(0.5, 0.5)
+    rec.record(0.0, 1.0)
+    starts, counts = rec.activity(1.0)
+    assert counts[0] == 2
+
+
+def test_intervals_empty_activity():
+    rec = IntervalRecorder()
+    starts, counts = rec.activity(1.0)
+    assert len(starts) == 0 and len(counts) == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=0, max_value=50),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_intervals_activity_conserves_total_property(spans):
+    """Max concurrent activity never exceeds interval count; bins cover span."""
+    rec = IntervalRecorder()
+    for start, dur in spans:
+        rec.record(start, start + dur)
+    starts, counts = rec.activity(1.0)
+    assert counts.max() <= len(spans)
+    assert counts.min() >= 0

@@ -1,0 +1,105 @@
+"""Unit and property tests for deterministic random streams and noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import NoiseModel, StreamRegistry
+
+
+def test_same_seed_same_key_reproduces():
+    a = StreamRegistry(123).stream("metadata")
+    b = StreamRegistry(123).stream("metadata")
+    assert np.array_equal(a.random(16), b.random(16))
+
+
+def test_different_keys_independent():
+    reg = StreamRegistry(123)
+    a = reg.stream("metadata").random(16)
+    b = reg.stream("servers").random(16)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = StreamRegistry(1).stream("x").random(16)
+    b = StreamRegistry(2).stream("x").random(16)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_cached_per_key():
+    reg = StreamRegistry(0)
+    assert reg.stream("k") is reg.stream("k")
+
+
+def test_spawn_child_registry_is_deterministic_and_distinct():
+    parent1 = StreamRegistry(7)
+    parent2 = StreamRegistry(7)
+    c1 = parent1.spawn("trial-0").stream("x").random(8)
+    c2 = parent2.spawn("trial-0").stream("x").random(8)
+    assert np.array_equal(c1, c2)
+    other = parent1.spawn("trial-1").stream("x").random(8)
+    assert not np.array_equal(c1, other)
+
+
+def test_quiet_noise_is_identity():
+    rng = np.random.default_rng(0)
+    nm = NoiseModel.quiet()
+    assert all(nm.factor(rng) == 1.0 for _ in range(10))
+    assert np.all(nm.factors(rng, 100) == 1.0)
+
+
+def test_noise_factors_positive_and_floored():
+    rng = np.random.default_rng(0)
+    nm = NoiseModel(sigma=2.0, floor=0.5)
+    f = nm.factors(rng, 10_000)
+    assert np.all(f >= 0.5)
+
+
+def test_noise_scalar_matches_distribution_of_vector():
+    nm = NoiseModel(sigma=0.3, outlier_prob=0.01)
+    rng = np.random.default_rng(42)
+    scalars = np.array([nm.factor(rng) for _ in range(5000)])
+    rng2 = np.random.default_rng(43)
+    vec = nm.factors(rng2, 5000)
+    # Same model: medians should agree within a few percent.
+    assert np.median(scalars) == pytest.approx(np.median(vec), rel=0.1)
+
+
+def test_outlier_mixture_produces_heavy_tail():
+    rng = np.random.default_rng(0)
+    base = NoiseModel(sigma=0.1, outlier_prob=0.0)
+    heavy = NoiseModel(sigma=0.1, outlier_prob=0.05, outlier_scale=5.0)
+    f_base = base.factors(rng, 20_000)
+    f_heavy = heavy.factors(np.random.default_rng(0), 20_000)
+    assert f_heavy.max() > 4 * f_base.max()
+    # Bodies remain comparable.
+    assert np.median(f_heavy) == pytest.approx(np.median(f_base), rel=0.05)
+
+
+def test_outlier_scale_sets_minimum_outlier_multiplier():
+    rng = np.random.default_rng(1)
+    nm = NoiseModel(sigma=0.0, outlier_prob=1.0, outlier_scale=3.0, outlier_shape=2.0)
+    f = nm.factors(rng, 1000)
+    assert np.all(f >= 3.0)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.text(min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_registry_determinism_property(seed, key):
+    a = StreamRegistry(seed).stream(key).random(4)
+    b = StreamRegistry(seed).stream(key).random(4)
+    assert np.array_equal(a, b)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.5),
+    st.floats(min_value=0.0, max_value=0.5),
+)
+@settings(max_examples=50, deadline=None)
+def test_noise_factor_always_positive_property(sigma, outlier_prob):
+    nm = NoiseModel(sigma=sigma, outlier_prob=outlier_prob)
+    rng = np.random.default_rng(0)
+    f = nm.factors(rng, 256)
+    assert np.all(f > 0)
+    assert np.all(np.isfinite(f))
