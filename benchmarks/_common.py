@@ -3,7 +3,9 @@
 Benchmarks regenerate every table and figure of the paper's evaluation at
 the paper's processor counts (16K / 32K / 64K ranks) by default.  Set
 ``REPRO_BENCH_SCALE=small`` to run a 16x-reduced sweep for quick iteration
-(series shapes persist; absolute values differ).
+(series shapes persist; absolute values differ), or
+``REPRO_BENCH_SCALE=smoke`` for the minimal configuration the test suite
+uses to exercise every benchmark module end to end.
 
 Each benchmark prints the regenerated series in the same rows/axes the
 paper reports, and asserts the paper's qualitative claims (who wins, by
@@ -14,19 +16,46 @@ from __future__ import annotations
 
 import os
 
-PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper") != "small"
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "paper")
+PAPER_SCALE = SCALE not in ("small", "smoke")
+SMOKE = SCALE == "smoke"
+
+
+def bench_np(paper: int, small: int) -> int:
+    """Processor count for the current scale tier.
+
+    Smoke runs shrink the small-scale count a further 8x (floored at 128
+    ranks, half a pset, so aggregation ratios and ION routing still
+    exercise real group structure).
+    """
+    if PAPER_SCALE:
+        return paper
+    if SMOKE:
+        return max(128, small // 8)
+    return small
+
 
 #: Weak-scaling processor counts for Figs. 5-7 / Table I.
-SIZES = (16384, 32768, 65536) if PAPER_SCALE else (1024, 2048, 4096)
+if PAPER_SCALE:
+    SIZES = (16384, 32768, 65536)
+elif SMOKE:
+    SIZES = (128, 256, 512)
+else:
+    SIZES = (1024, 2048, 4096)
 
 #: Fig. 8's file-count sweep values.
-FIG8_FILES = (256, 512, 1024, 2048, 4096) if PAPER_SCALE else (16, 32, 64, 128, 256)
+if PAPER_SCALE:
+    FIG8_FILES = (256, 512, 1024, 2048, 4096)
+elif SMOKE:
+    FIG8_FILES = (4, 8, 16)
+else:
+    FIG8_FILES = (16, 32, 64, 128, 256)
 
 #: Processor counts for the distribution figures.
-FIG9_NP = 16384 if PAPER_SCALE else 1024     # 1PFPP distribution
-FIG10_NP = 65536 if PAPER_SCALE else 4096    # coIO distribution
-FIG11_NP = 65536 if PAPER_SCALE else 4096    # rbIO distribution
-FIG12_NP = 32768 if PAPER_SCALE else 2048    # Darshan write activity
+FIG9_NP = bench_np(16384, 1024)    # 1PFPP distribution
+FIG10_NP = bench_np(65536, 4096)   # coIO distribution
+FIG11_NP = bench_np(65536, 4096)   # rbIO distribution
+FIG12_NP = bench_np(32768, 2048)   # Darshan write activity
 
 
 def print_series(title: str, columns, rows) -> None:

@@ -9,11 +9,11 @@ the application-*blocking* time (microsecond worker Isends — the effective
 cost once writer drain overlaps computation).
 """
 
-from _common import PAPER_SCALE, print_series
+from _common import PAPER_SCALE, SMOKE, bench_np, print_series
 
 from repro.experiments import eq1_production_improvement
 
-NP = 16384 if PAPER_SCALE else 4096
+NP = bench_np(16384, 4096)
 
 
 def test_eq1_production_improvement(benchmark):
@@ -33,7 +33,10 @@ def test_eq1_production_improvement(benchmark):
         ],
     )
 
-    assert out["ratio_1pfpp"] > out["ratio_rbio_commit"]
+    if not SMOKE:
+        # The 1PFPP metadata/file-count pathology needs real scale; at
+        # the smoke tier's few hundred files the ratios cross over.
+        assert out["ratio_1pfpp"] > out["ratio_rbio_commit"]
     assert out["improvement_blocking"] >= out["improvement_commit"]
     if PAPER_SCALE:
         # The paper's §V-B numbers: Ratio_1PFPP above 1000, Ratio_rbIO

@@ -6,11 +6,11 @@ This bench evaluates the model from measured bandwidths and cross-checks
 it against blocked processor-seconds measured directly in the simulator.
 """
 
-from _common import PAPER_SCALE, print_series
+from _common import PAPER_SCALE, bench_np, print_series
 
 from repro.experiments import eq2_7_speedup
 
-NP = 65536 if PAPER_SCALE else 4096
+NP = bench_np(65536, 4096)
 
 
 def test_eq2_7_speedup_model(benchmark):

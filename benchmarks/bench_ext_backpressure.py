@@ -14,13 +14,13 @@ read off directly.
   Eq. 6 speedup degrades toward 1/(BW_coIO/BW_rbIO) as the model predicts.
 """
 
-from _common import PAPER_SCALE, print_series
+from _common import PAPER_SCALE, bench_np, print_series
 
 from repro.ckpt import ReducedBlockingIO
 from repro.experiments import paper_data, run_checkpoint_steps, scaled_problem
 from repro.model import SpeedupModel
 
-NP = 16384 if PAPER_SCALE else 2048
+NP = bench_np(16384, 2048)
 
 
 def test_ext_backpressure_lambda(benchmark):

@@ -9,13 +9,18 @@ the optimum — confirming the paper's observation that "this optimal number
 could vary from one file system to another".
 """
 
-from _common import PAPER_SCALE, print_series
+from _common import PAPER_SCALE, SMOKE, bench_np, print_series
 
 from repro.ckpt import CollectiveIO, ReducedBlockingIO
 from repro.experiments import paper_data, run_checkpoint_step, scaled_problem
 
-NP = 16384 if PAPER_SCALE else 2048
-N_FILES = (64, 256, 1024, 4096) if PAPER_SCALE else (16, 64, 256)
+NP = bench_np(16384, 2048)
+if PAPER_SCALE:
+    N_FILES = (64, 256, 1024, 4096)
+elif SMOKE:
+    N_FILES = (4, 16, 64)
+else:
+    N_FILES = (16, 64, 256)
 
 
 def _data():
@@ -61,7 +66,9 @@ def test_ext_lustre_file_sweep(benchmark):
     assert out["lustre"]["nf=1 coIO"] < out["gpfs"]["nf=1 coIO"]
     # With many files both file systems can use the whole backend.
     many = keys[-2]
-    assert out["lustre"][many] > 2 * out["lustre"]["nf=1 coIO"]
+    # (at smoke scale the stripe-width gap narrows; keep a looser floor)
+    factor = 1.5 if SMOKE else 2
+    assert out["lustre"][many] > factor * out["lustre"]["nf=1 coIO"]
     if PAPER_SCALE:
         # The shared-file ceiling is drastic: >4x below GPFS's (already
         # allocation-limited) shared-file rate...

@@ -16,12 +16,12 @@ comparison is clean:
   paying only PVFS's cache handicap.
 """
 
-from _common import PAPER_SCALE, print_series
+from _common import PAPER_SCALE, bench_np, print_series
 
 from repro.ckpt import CollectiveIO, ReducedBlockingIO
 from repro.experiments import get_run, paper_data, run_checkpoint_step, scaled_problem
 
-NP = 65536 if PAPER_SCALE else 4096
+NP = bench_np(65536, 4096)
 
 _KEYS = [("coIO nf=1", "coio_nf1"), ("coIO 64:1", "coio_64"),
          ("rbIO nf=ng", "rbio_ng")]

@@ -5,11 +5,16 @@ Paper: reading the global mesh takes 7.5 s (E = 136K on 32,768 procs) to
 the optimization focus is the write path.
 """
 
-from _common import PAPER_SCALE, print_series
+from _common import PAPER_SCALE, SMOKE, print_series
 
 from repro.experiments.inputread import input_read_time
 
-CASES = [(32768, 136_000), (65536, 546_000)] if PAPER_SCALE else [(1024, 8_000)]
+if PAPER_SCALE:
+    CASES = [(32768, 136_000), (65536, 546_000)]
+elif SMOKE:
+    CASES = [(256, 2_000)]
+else:
+    CASES = [(1024, 8_000)]
 
 
 def test_input_read(benchmark):

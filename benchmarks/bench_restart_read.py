@@ -7,12 +7,12 @@ read-dominated — no allocation or lock-token costs — so even the nf=1
 single-file layout restores far faster than it wrote.
 """
 
-from _common import PAPER_SCALE, print_series
+from _common import PAPER_SCALE, bench_np, print_series
 
 from repro.ckpt import CollectiveIO, OneFilePerProcess, ReducedBlockingIO
 from repro.experiments import paper_data, run_checkpoint_and_restore, scaled_problem
 
-NP = 16384 if PAPER_SCALE else 2048
+NP = bench_np(16384, 2048)
 
 
 def test_restart_read(benchmark):

@@ -15,7 +15,10 @@ the study depends on, built from scratch:
   service, block allocation, byte-range lock tokens, striped servers);
 - :mod:`repro.mpiio` — ROMIO-like collective buffering (two-phase I/O,
   aggregators, aligned file domains, hints);
-- :mod:`repro.ckpt` — the three checkpointing strategies + restart;
+- :mod:`repro.ckpt` — the three checkpointing strategies + restart, plus
+  the bbIO burst-buffer extension;
+- :mod:`repro.staging` — multi-tier asynchronous checkpoint staging
+  (burst buffers, background drain, partner replication);
 - :mod:`repro.nekcem` — a NekCEM-like SEDG Maxwell solver (GLL bases,
   low-storage RK4, hex meshes, .rea/.map inputs, vtk outputs) with a
   slab-parallel driver on the simulated machine;
@@ -34,6 +37,7 @@ Quickstart::
 """
 
 from .ckpt import (
+    BurstBufferIO,
     CheckpointData,
     CheckpointResult,
     CheckpointSchedule,
@@ -46,9 +50,10 @@ from .ckpt import (
 )
 from .topology import MachineConfig, intrepid
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BurstBufferIO",
     "CheckpointData",
     "CheckpointResult",
     "CheckpointSchedule",

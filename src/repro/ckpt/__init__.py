@@ -7,10 +7,17 @@ Three approaches from Fu et al. (CLUSTER 2011):
 - :class:`ReducedBlockingIO` — rbIO, application-level two-phase I/O with
   dedicated writers (the reduced-blocking contribution).
 
+Plus one extension beyond the paper:
+
+- :class:`BurstBufferIO` — bbIO, rbIO aggregation with an asynchronous
+  staged commit through :mod:`repro.staging` (burst buffer + background
+  drain + optional partner replication).
+
 Plus the shared data/layout/result types and the production-time model.
 """
 
 from .base import CheckpointStrategy
+from .bbio import BurstBufferIO
 from .coio import CollectiveIO
 from .data import CheckpointData, Field
 from .layout import FileLayout
@@ -20,6 +27,7 @@ from .result import CheckpointResult, RankReport
 from .schedule import CheckpointSchedule, checkpoint_ratio, production_improvement
 
 __all__ = [
+    "BurstBufferIO",
     "CheckpointStrategy",
     "CollectiveIO",
     "CheckpointData",

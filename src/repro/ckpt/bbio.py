@@ -1,0 +1,234 @@
+"""bbIO — burst-buffer staged checkpointing (multi-level extension of rbIO).
+
+bbIO keeps rbIO's two-phase application-level aggregation — workers Isend
+their package to a dedicated writer, the writer reorders to the file-major
+image — but replaces the synchronous PFS commit with a *staged* one:
+
+1. the writer reserves capacity in its failure domain's burst buffer (the
+   only point where backpressure can reach the application: the reserve
+   blocks exactly when the background drain has fallen behind);
+2. the file image is ingested at device speed (plus the collective-network
+   link for ION-attached buffers) and registered as resident;
+3. optionally the package is replicated to a partner failure domain's
+   buffer over the torus;
+4. the package is handed to the background drain, and workers are
+   acknowledged immediately — the PFS write happens later, overlapped with
+   computation.
+
+Restart prefers the cheapest tier that still holds the checkpoint: the
+local buffer, then the partner replica (zero PFS reads — the buffer/partner
+paths distribute field blocks over the group communicator and never touch
+the file system), then the PFS files the drain produced, which are
+bit-identical to rbIO's nf=ng files.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mpi import RankContext
+from ..mpiio import Hints
+from ..staging import (
+    StagedPackage,
+    StagingConfig,
+    StagingError,
+    StagingService,
+    attach_staging,
+    staging_of,
+)
+from .data import CheckpointData
+from .rbio import ReducedBlockingIO
+
+__all__ = ["BurstBufferIO"]
+
+_RESTORE_TAG = 1 << 25
+
+#: Restore-source preference values.
+_SOURCES = ("auto", "buffer", "partner", "pfs")
+
+
+class BurstBufferIO(ReducedBlockingIO):
+    """The bbIO strategy: rbIO aggregation + asynchronous staged commit.
+
+    Parameters
+    ----------
+    workers_per_writer:
+        Group size, as in rbIO.
+    max_outstanding:
+        Worker-side flow control (packages in flight before a worker waits
+        for its writer's acknowledgement).  Defaults to 2 — unlike rbIO's
+        unbounded default, bbIO bounds it so buffer backpressure is
+        *measurable* at the workers instead of hiding in send buffers.
+    staging:
+        The staging-tier configuration used when the job has no staging
+        service attached yet (capacity, device/drain bandwidth,
+        replication).
+    restore_from:
+        Restart tier preference: ``"auto"`` (buffer, then partner replica,
+        then PFS), or force ``"buffer"`` / ``"partner"`` / ``"pfs"``.
+        Forcing a tier that does not hold the checkpoint raises
+        :class:`~repro.staging.StagingError`.
+    """
+
+    name = "bbio"
+
+    def __init__(self, workers_per_writer: int = 64,
+                 max_outstanding: Optional[int] = 2,
+                 staging: Optional[StagingConfig] = None,
+                 restore_from: str = "auto",
+                 hints: Optional[Hints] = None) -> None:
+        super().__init__(workers_per_writer=workers_per_writer,
+                         single_file=False, max_outstanding=max_outstanding,
+                         hints=hints)
+        if restore_from not in _SOURCES:
+            raise ValueError(
+                f"restore_from must be one of {_SOURCES}, got {restore_from!r}"
+            )
+        self.staging = staging if staging is not None else StagingConfig()
+        self.restore_from = restore_from
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update({
+            "name": self.name,
+            "placement": self.staging.placement,
+            "capacity_bytes": self.staging.capacity_bytes,
+            "drain_bandwidth": self.staging.drain_bandwidth,
+            "replicate": self.staging.replicate,
+            "restore_from": self.restore_from,
+        })
+        return out
+
+    # -- staging plumbing --------------------------------------------------
+    def _service(self, ctx: RankContext) -> StagingService:
+        """The job's staging service, attached on first use."""
+        svc = staging_of(ctx.job)
+        if svc is None:
+            svc = attach_staging(ctx.job, self.staging, profiler=ctx.profiler)
+        return svc
+
+    def _partner_rank(self, svc: StagingService, ctx: RankContext) -> int:
+        """World rank of the writer whose buffer holds my group's replica."""
+        if svc.replicator is None:
+            raise StagingError("partner replication is not enabled")
+        group = self.group_of(ctx.rank)
+        partner = svc.replicator.partner_group(group, self.n_groups(ctx.comm.size))
+        return partner * self.workers_per_writer
+
+    # -- checkpoint --------------------------------------------------------
+    def _writer(self, ctx: RankContext, cache: dict, data: CheckpointData,
+                step: int, basedir: str):
+        """Writer: gather and reorder as rbIO, then stage instead of commit."""
+        eng = ctx.engine
+        t0 = eng.now
+        gcomm = cache["gcomm"]
+        layout, image, _, _ = yield from self._gather_group(ctx, gcomm, data,
+                                                            step)
+        svc = self._service(ctx)
+        buf = svc.buffer_for(ctx.rank)
+        group = self.group_of(ctx.rank)
+        total = layout.total_size
+        yield from buf.reserve(total)
+        yield buf.write(total)
+        pkg = StagedPackage(eng, step, group,
+                            self.file_path(basedir, step, group), total,
+                            layout=layout, image=image)
+        buf.stage(pkg)
+        if svc.replicator is not None:
+            partner_rank = self._partner_rank(svc, ctx)
+            yield from svc.replicator.replicate(pkg, ctx.rank, partner_rank)
+        svc.drain.enqueue(ctx.rank, buf, pkg)
+        self._ack_group(gcomm)
+        t_end = eng.now
+        if ctx.profiler is not None:
+            ctx.profiler.record_phase(ctx.rank, "stage", t0, t_end, total)
+        return self._report(ctx, "writer", t0, t_end, t_end, data.total_bytes)
+
+    # -- restore -----------------------------------------------------------
+    def _locate(self, svc: StagingService, ctx: RankContext, step: int):
+        """Find the best available copy: ``(package, tier-name)``."""
+        group = self.group_of(ctx.rank)
+        want = self.restore_from
+        if want in ("auto", "buffer"):
+            pkg = svc.buffer_for(ctx.rank).resident.get((step, group))
+            if pkg is not None:
+                return pkg, "buffer"
+            if want == "buffer":
+                raise StagingError(
+                    f"step {step} group {group} is not resident in the buffer"
+                )
+        if want in ("auto", "partner"):
+            if svc.replicator is not None:
+                partner_rank = self._partner_rank(svc, ctx)
+                pkg = svc.replicator.find_replica(partner_rank, group, step)
+                if pkg is not None:
+                    return pkg, "partner"
+            if want == "partner":
+                raise StagingError(
+                    f"no partner replica of step {step} group {group}"
+                )
+        return None, "pfs"
+
+    def restore(self, ctx: RankContext, template: CheckpointData, step: int,
+                basedir: str = "/ckpt"):
+        """Generator: restore from the cheapest tier holding the checkpoint.
+
+        The group's writer picks the tier and broadcasts the decision; for
+        the buffer/partner tiers it reads the staged image and scatters
+        each member's field blocks over the group communicator — no file
+        system involvement at all.
+        """
+        cache = yield from self._setup(ctx)
+        gcomm = cache["gcomm"]
+        if not cache["am_writer"]:
+            tier = yield from gcomm.bcast(root=0, nbytes=8)
+            if tier == "pfs":
+                return (yield from super().restore(ctx, template, step,
+                                                   basedir))
+            msg = yield from gcomm.recv(source=0, tag=_RESTORE_TAG)
+            if msg.payload is None:
+                return [None] * template.n_fields
+            return list(msg.payload)
+
+        svc = self._service(ctx)
+        pkg, tier = self._locate(svc, ctx, step)
+        if tier == "pfs":
+            # The PFS copy is only durable once the background drain has
+            # committed it; if our package is still in flight, wait it out.
+            pending = svc.buffer_for(ctx.rank).resident.get(
+                (step, self.group_of(ctx.rank))
+            )
+            if pending is not None and not pending.is_drained:
+                yield pending.drained
+        yield from gcomm.bcast(tier, root=0, nbytes=8)
+        if tier == "pfs":
+            return (yield from super().restore(ctx, template, step, basedir))
+
+        # Pull the staged image back to the writer's memory.
+        if tier == "buffer":
+            yield svc.buffer_for(ctx.rank).read(pkg.nbytes)
+        else:
+            partner_rank = self._partner_rank(svc, ctx)
+            yield svc.buffer_for(partner_rank).read(pkg.nbytes)
+            yield ctx.job.fabric.transfer(partner_rank, ctx.rank, pkg.nbytes)
+
+        # Scatter members' field blocks; slice straight out of the image.
+        layout, image = pkg.layout, pkg.image
+
+        def member_blocks(m: int):
+            if image is None:
+                return None
+            return tuple(
+                image[layout.block_offset(f, m):
+                      layout.block_offset(f, m) + layout.block_size(f, m)]
+                for f in range(layout.n_fields)
+            )
+
+        for m in range(1, gcomm.size):
+            nbytes = sum(layout.block_size(f, m)
+                         for f in range(layout.n_fields))
+            gcomm.isend(m, nbytes, tag=_RESTORE_TAG, payload=member_blocks(m))
+        own = member_blocks(0)
+        if own is None:
+            return [None] * template.n_fields
+        return list(own)

@@ -163,15 +163,17 @@ class ReducedBlockingIO(CheckpointStrategy):
         return self._report(ctx, "worker", t0, t_done, t_done,
                             data.total_bytes, isend_seconds=t_done - t0)
 
-    def _writer(self, ctx: RankContext, cache: dict, data: CheckpointData,
-                step: int, basedir: str):
-        """Writer: gather group packages, reorder, commit to disk."""
-        eng = ctx.engine
-        cfg = ctx.config
-        t0 = eng.now
-        gcomm = cache["gcomm"]
-        tag = _PKG_TAG_BASE + step
+    def _gather_group(self, ctx: RankContext, gcomm, data: CheckpointData,
+                      step: int):
+        """Generator: aggregate group packages and reorder to file order.
 
+        Returns ``(layout, image, member_sizes, member_payloads)`` — the
+        group's :class:`FileLayout`, the assembled field-major file image
+        (``None`` in size-only runs), and the raw per-member packages.
+        Shared by rbIO's synchronous commit and bbIO's staged commit.
+        """
+        eng = ctx.engine
+        tag = _PKG_TAG_BASE + step
         # Aggregate: collect each member's (sizes, payload) package.
         member_sizes: list[tuple[int, ...]] = [tuple(data.field_sizes)]
         member_payloads: list[Optional[bytes]] = [data.concatenated_payload()]
@@ -184,9 +186,19 @@ class ReducedBlockingIO(CheckpointStrategy):
 
         # Reorder member-major packages into field-major file order: one
         # memory pass over the aggregation buffer.
-        yield eng.timeout(group_bytes / cfg.memory_bandwidth)
+        yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
         layout = FileLayout(data.header_bytes, [list(s) for s in member_sizes])
         image = self._field_major_image(layout, member_sizes, member_payloads)
+        return layout, image, member_sizes, member_payloads
+
+    def _writer(self, ctx: RankContext, cache: dict, data: CheckpointData,
+                step: int, basedir: str):
+        """Writer: gather group packages, reorder, commit to disk."""
+        eng = ctx.engine
+        t0 = eng.now
+        gcomm = cache["gcomm"]
+        layout, image, member_sizes, member_payloads = yield from \
+            self._gather_group(ctx, gcomm, data, step)
 
         if not self.single_file:
             yield from self._commit_private(ctx, layout, image, step, basedir)
@@ -194,13 +206,15 @@ class ReducedBlockingIO(CheckpointStrategy):
             yield from self._commit_shared(ctx, cache["wcomm"], layout,
                                            member_sizes, member_payloads,
                                            data.header_bytes, step, basedir)
-        if self.max_outstanding is not None:
-            # Flow control: acknowledge the commit so workers may release
-            # their in-flight slot.
-            for dst in range(1, gcomm.size):
-                gcomm.isend(dst, 8, tag=_ACK_TAG, buffered=True)
+        self._ack_group(gcomm)
         t_end = eng.now
         return self._report(ctx, "writer", t0, t_end, t_end, data.total_bytes)
+
+    def _ack_group(self, gcomm) -> None:
+        """Flow control: acknowledge the commit so workers release a slot."""
+        if self.max_outstanding is not None:
+            for dst in range(1, gcomm.size):
+                gcomm.isend(dst, 8, tag=_ACK_TAG, buffered=True)
 
     @staticmethod
     def _field_major_image(layout: FileLayout,

@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Optional
 import numpy as np
 
 from ..ckpt import (
+    BurstBufferIO,
     CheckpointResult,
     CollectiveIO,
     OneFilePerProcess,
@@ -32,9 +33,10 @@ from ..ckpt import (
 )
 from ..model import SpeedupModel, blocked_processor_seconds, production_improvement
 from ..sim import IntervalRecorder
+from ..staging import StagingConfig, staging_of
 from ..topology import MachineConfig, intrepid
 from .configs import PAPER_SIZES, TCOMP_PER_STEP, paper_problem, scaled_problem
-from .runner import run_checkpoint_step
+from .runner import run_checkpoint_step, run_checkpoint_steps
 
 
 __all__ = [
@@ -55,6 +57,9 @@ __all__ = [
     "table1_perceived",
     "eq1_production_improvement",
     "eq2_7_speedup",
+    "ext_staging_run",
+    "ext_staging_drain_sweep",
+    "ext_staging_capacity_sweep",
 ]
 
 #: The paper's three weak-scaling processor counts.
@@ -80,6 +85,8 @@ APPROACH_LABELS = {
     "coio_64": "coIO, np:nf=64:1",
     "rbio_nf1": "rbIO, np:ng=64:1, nf=1",
     "rbio_ng": "rbIO, np:ng=64:1, nf=ng",
+    # Extension beyond the paper (not part of the default figure sweeps):
+    "bbio": "bbIO, np:ng=64:1, staged",
 }
 
 
@@ -103,6 +110,9 @@ def clear_cache() -> None:
 def _strategy_for(key: str, n_ranks: int):
     if key in APPROACHES:
         return APPROACHES[key]()
+    if key == "bbio":
+        # Burst-buffer staged commit (extension; see repro.staging).
+        return BurstBufferIO(workers_per_writer=64)
     if key.startswith("rbio_nf"):
         # 'rbio_nfNNN' -> nf=ng=NNN writer files (Fig. 8 sweep points).
         nf = int(key[7:])
@@ -336,4 +346,134 @@ def eq2_7_speedup(n_ranks: int = 65536,
         "t_rbio_measured": blocked_processor_seconds(rbio),
         "speedup_measured": measured,
     })
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Extension: bbIO staging sweeps (beyond the paper; see DESIGN.md §8)
+# ---------------------------------------------------------------------------
+
+def _staging_step_bytes(n_ranks: int, workers_per_writer: int,
+                        config: MachineConfig) -> int:
+    """Checkpoint bytes one ION-attached buffer ingests per step."""
+    data = _problem(n_ranks).data()
+    per_group = data.header_bytes + workers_per_writer * data.total_bytes
+    ranks_per_pset = config.pset_map(n_ranks).ranks_per_pset()
+    groups_per_pset = max(1, min(n_ranks, ranks_per_pset) // workers_per_writer)
+    return per_group * groups_per_pset
+
+
+def ext_staging_run(n_ranks: int = 512, n_steps: int = 4,
+                    workers_per_writer: int = 64,
+                    gap_seconds: float = 1.0,
+                    staging: Optional[StagingConfig] = None,
+                    max_outstanding: Optional[int] = 1,
+                    config: Optional[MachineConfig] = None,
+                    seed: Optional[int] = None) -> dict:
+    """Run a multi-step bbIO campaign; return blocking + staging metrics.
+
+    ``gap_seconds`` of computation separate the checkpoint bursts (this is
+    what the background drain overlaps); ``max_outstanding=1`` makes
+    buffer backpressure visible at the workers, mirroring the rbIO λ
+    measurement of ``bench_ext_backpressure``.  No per-step barriers: each
+    worker advances at its own pace, so a stalled writer shows up as
+    worker blocking rather than hiding in a barrier.
+    """
+    config = config if config is not None else intrepid()
+    strategy = BurstBufferIO(workers_per_writer=workers_per_writer,
+                             max_outstanding=max_outstanding,
+                             staging=staging)
+    data = _problem(n_ranks).data()
+    run = run_checkpoint_steps(strategy, n_ranks, data, n_steps=n_steps,
+                               config=config, seed=seed,
+                               gap_seconds=gap_seconds,
+                               barrier_each_step=False)
+    svc = staging_of(run.job)
+    stats = svc.stats()
+    per_step = [r.blocking_time for r in run.results]
+    # The first step never sees backpressure (empty buffers, no
+    # outstanding packages) — steady state is steps 1..n.
+    steady = per_step[1:] if len(per_step) > 1 else per_step
+    return {
+        "n_ranks": n_ranks,
+        "n_steps": n_steps,
+        "per_step_blocking": per_step,
+        "blocking_time": max(steady),
+        "stalls": stats["stalls"],
+        "stall_seconds": stats["stall_seconds"],
+        "peak_used": stats["peak_used"],
+        "packages_drained": stats["drain"]["packages_drained"],
+        "bytes_drained": stats["drain"]["bytes_drained"],
+        "last_drain_end": stats["drain"]["last_drain_end"],
+        "results": run.results,
+    }
+
+
+def ext_staging_drain_sweep(drain_bandwidths: Iterable[Optional[float]],
+                            n_ranks: int = 512, n_steps: int = 4,
+                            workers_per_writer: int = 64,
+                            gap_seconds: float = 1.0,
+                            capacity_steps: float = 1.5,
+                            config: Optional[MachineConfig] = None,
+                            seed: Optional[int] = None
+                            ) -> dict[Optional[float], dict]:
+    """Worker blocking vs drain bandwidth (the staging backpressure curve).
+
+    ``drain_bandwidths`` are per-writer drain rates (``None`` = as fast as
+    the PFS accepts).  Buffer capacity is sized to ``capacity_steps``
+    checkpoint steps, so once ``drain_bandwidth * gap_seconds`` falls
+    below the per-writer checkpoint volume the buffer fills and worker
+    blocking rises — the staging analogue of the paper's λ.
+    ``high_watermark=None`` makes the cap hard (no emergency drain), so
+    the sweep isolates the bandwidth knob.
+    """
+    config = config if config is not None else intrepid()
+    step_bytes = _staging_step_bytes(n_ranks, workers_per_writer, config)
+    out: dict[Optional[float], dict] = {}
+    for bw in drain_bandwidths:
+        staging = StagingConfig(
+            capacity_bytes=max(1, int(capacity_steps * step_bytes)),
+            drain_bandwidth=bw,
+            high_watermark=None,
+        )
+        out[bw] = ext_staging_run(
+            n_ranks=n_ranks, n_steps=n_steps,
+            workers_per_writer=workers_per_writer,
+            gap_seconds=gap_seconds, staging=staging,
+            config=config, seed=seed,
+        )
+    return out
+
+
+def ext_staging_capacity_sweep(capacity_steps: Iterable[float],
+                               n_ranks: int = 512, n_steps: int = 4,
+                               workers_per_writer: int = 64,
+                               gap_seconds: float = 1.0,
+                               drain_bandwidth: Optional[float] = None,
+                               config: Optional[MachineConfig] = None,
+                               seed: Optional[int] = None
+                               ) -> dict[float, dict]:
+    """Worker blocking vs buffer capacity (in checkpoint-steps of bytes).
+
+    With a fixed, deliberately under-provisioned ``drain_bandwidth``
+    (per-writer), a larger buffer absorbs more checkpoint steps before
+    writers hit :meth:`~repro.staging.buffer.BurstBuffer.reserve`
+    backpressure — capacity buys time, not sustained bandwidth, so for a
+    long enough campaign only the drain rate matters.
+    """
+    config = config if config is not None else intrepid()
+    step_bytes = _staging_step_bytes(n_ranks, workers_per_writer, config)
+    out: dict[float, dict] = {}
+    for steps in capacity_steps:
+        staging = StagingConfig(
+            capacity_bytes=max(1, int(steps * step_bytes)),
+            drain_bandwidth=drain_bandwidth,
+            high_watermark=None,
+        )
+        out[steps] = ext_staging_run(
+            n_ranks=n_ranks, n_steps=n_steps,
+            workers_per_writer=workers_per_writer,
+            gap_seconds=gap_seconds, staging=staging,
+            config=config, seed=seed,
+        )
     return out

@@ -1,11 +1,19 @@
-"""Analytic models from the paper: Eq. 1 production time, Eqs. 2-7 speedup."""
+"""Analytic models: Eq. 1 production time, Eqs. 2-7 speedup, multi-level.
+
+The multi-level efficiency model (per-tier Young intervals for a burst
+buffer + partner + PFS hierarchy) lives in :mod:`repro.staging.model` and
+is re-exported here next to the paper's flat Eq. 1 machinery it extends.
+"""
 
 from ..ckpt.schedule import checkpoint_ratio, production_improvement
+from ..staging.model import MultiLevelModel, TierSpec
 from .speedup import SpeedupModel, blocked_processor_seconds
 
 __all__ = [
     "checkpoint_ratio",
     "production_improvement",
+    "MultiLevelModel",
+    "TierSpec",
     "SpeedupModel",
     "blocked_processor_seconds",
 ]

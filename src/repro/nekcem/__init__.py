@@ -26,7 +26,7 @@ from .genmap import (
 from .maxwell import GhostFaces, MaxwellSolver
 from .mesh import HexMesh, box_mesh, read_rea, waveguide_mesh, write_rea
 from .rk4 import LSRK4, RK4A, RK4B, RK4C
-from .vtk import gll_hex_cells, read_vtk, write_vtk
+from .vtk import VtkReadError, gll_hex_cells, read_vtk, write_vtk
 
 __all__ = [
     "NekCEMApp",
@@ -60,4 +60,5 @@ __all__ = [
     "gll_hex_cells",
     "read_vtk",
     "write_vtk",
+    "VtkReadError",
 ]

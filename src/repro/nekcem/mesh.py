@@ -19,7 +19,6 @@ users need not pre-partition.  This module provides:
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 from typing import Optional
 

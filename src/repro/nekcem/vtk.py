@@ -18,9 +18,19 @@ from typing import Mapping
 
 import numpy as np
 
-__all__ = ["write_vtk", "read_vtk", "gll_hex_cells"]
+__all__ = ["write_vtk", "read_vtk", "gll_hex_cells", "VtkReadError"]
 
 _HEADER = "# vtk DataFile Version 3.0"
+
+
+class VtkReadError(ValueError):
+    """A vtk checkpoint file is truncated or structurally corrupt.
+
+    Restart reads raise this instead of returning short arrays (silent
+    garbage) or looping on a truncated ASCII block.  Subclasses
+    :class:`ValueError`, so existing ``except ValueError`` callers keep
+    working.
+    """
 
 
 def gll_hex_cells(n_elements: int, order: int) -> np.ndarray:
@@ -127,58 +137,88 @@ def read_vtk(path: str) -> dict:
         return stream.readline().decode("ascii", errors="replace").strip()
 
     if readline() != _HEADER:
-        raise ValueError("not a vtk legacy file")
+        raise VtkReadError("not a vtk legacy file")
     _title = readline()
     mode = readline()
     binary = mode == "BINARY"
     if readline() != "DATASET UNSTRUCTURED_GRID":
-        raise ValueError("unsupported vtk dataset")
+        raise VtkReadError("unsupported vtk dataset")
 
     def read_doubles(count: int) -> np.ndarray:
         if binary:
             buf = stream.read(count * 8)
+            if len(buf) != count * 8:
+                raise VtkReadError(
+                    f"truncated data block: wanted {count} doubles, "
+                    f"got {len(buf)} bytes"
+                )
             stream.readline()  # trailing newline
             return np.frombuffer(buf, dtype=">f8").astype(np.float64)
         vals: list[float] = []
         while len(vals) < count:
-            vals.extend(float(x) for x in readline().split())
-        return np.array(vals)
+            raw = stream.readline()
+            if not raw:
+                raise VtkReadError(
+                    f"truncated data block: wanted {count} doubles, "
+                    f"got {len(vals)}"
+                )
+            try:
+                vals.extend(float(x) for x in raw.split())
+            except ValueError as exc:
+                raise VtkReadError(f"corrupt value in data block: {exc}") from exc
+        return np.array(vals[:count])
 
     def read_ints(count: int) -> np.ndarray:
         if binary:
             buf = stream.read(count * 4)
+            if len(buf) != count * 4:
+                raise VtkReadError(
+                    f"truncated data block: wanted {count} ints, "
+                    f"got {len(buf)} bytes"
+                )
             stream.readline()
             return np.frombuffer(buf, dtype=">i4").astype(np.int64)
         vals: list[int] = []
         while len(vals) < count:
-            vals.extend(int(x) for x in readline().split())
-        return np.array(vals, dtype=np.int64)
+            raw = stream.readline()
+            if not raw:
+                raise VtkReadError(
+                    f"truncated data block: wanted {count} ints, "
+                    f"got {len(vals)}"
+                )
+            try:
+                vals.extend(int(x) for x in raw.split())
+            except ValueError as exc:
+                raise VtkReadError(f"corrupt value in data block: {exc}") from exc
+        return np.array(vals[:count], dtype=np.int64)
 
     parts = readline().split()
-    if parts[0] != "POINTS":
-        raise ValueError("missing POINTS block")
+    if not parts or parts[0] != "POINTS":
+        raise VtkReadError("missing POINTS block")
     n_points = int(parts[1])
     points = read_doubles(3 * n_points).reshape(n_points, 3)
     parts = readline().split()
-    if parts[0] != "CELLS":
-        raise ValueError("missing CELLS block")
+    if not parts or parts[0] != "CELLS":
+        raise VtkReadError("missing CELLS block")
     n_cells = int(parts[1])
-    conn = read_ints(int(parts[2])).reshape(n_cells, 9)
+    if int(parts[2]) != 9 * n_cells:
+        raise VtkReadError("inconsistent CELLS header for hexahedral grid")
+    conn = read_ints(9 * n_cells).reshape(n_cells, 9)
     if not (conn[:, 0] == 8).all():
-        raise ValueError("non-hexahedral cell in file")
+        raise VtkReadError("non-hexahedral cell in file")
     cells = conn[:, 1:]
     parts = readline().split()
-    if parts[0] != "CELL_TYPES":
-        raise ValueError("missing CELL_TYPES block")
+    if not parts or parts[0] != "CELL_TYPES":
+        raise VtkReadError("missing CELL_TYPES block")
     types = read_ints(n_cells)
     if not (types == 12).all():
-        raise ValueError("unexpected cell types")
+        raise VtkReadError("unexpected cell types")
     fields: dict[str, np.ndarray] = {}
     header = readline()
     if header:
         parts = header.split()
         if parts[0] != "POINT_DATA":
-            raise ValueError("missing POINT_DATA block")
+            raise VtkReadError("missing POINT_DATA block")
         while True:
             line = readline()
             if not line:

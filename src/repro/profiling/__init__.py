@@ -2,6 +2,7 @@
 
 from .analysis import (
     distribution_summary,
+    drain_activity,
     io_time_distribution,
     write_activity,
     writer_worker_split,
@@ -12,6 +13,7 @@ __all__ = [
     "DarshanProfiler",
     "OpRecord",
     "distribution_summary",
+    "drain_activity",
     "io_time_distribution",
     "write_activity",
     "writer_worker_split",

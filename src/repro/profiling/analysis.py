@@ -10,6 +10,9 @@ the paper plots:
   in the paper's prose ("most of the processors finish within 10 seconds").
 - :func:`write_activity` — concurrent-writer timeline, the Darshan write
   activity analysis of Fig. 12.
+- :func:`drain_activity` — the same timeline for the staging tier's
+  background drain (bbIO): how many drain processes were committing to the
+  PFS at each instant, the Fig. 12 analogue for asynchronous staging.
 - :func:`writer_worker_split` — separates the two "lines" of Fig. 11
   (writers vs workers in rbIO).
 """
@@ -26,6 +29,7 @@ __all__ = [
     "io_time_distribution",
     "distribution_summary",
     "write_activity",
+    "drain_activity",
     "writer_worker_split",
 ]
 
@@ -78,6 +82,18 @@ def write_activity(profiler: DarshanProfiler, bin_width: float = 0.5
     processes were inside a file-system write at each instant.
     """
     return profiler.write_intervals().activity(bin_width)
+
+
+def drain_activity(profiler: DarshanProfiler, bin_width: float = 0.5
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Concurrent background-drain activity over time (bbIO timeline).
+
+    Returns ``(bin_start_times, active_drain_counts)``: how many staging
+    drain processes were committing data to the PFS at each instant.
+    Non-empty only for runs whose strategy stages through
+    :mod:`repro.staging` (the drain records ``app:drain`` phases).
+    """
+    return profiler.phase_intervals("drain").activity(bin_width)
 
 
 def writer_worker_split(per_rank_time: Mapping[int, float],

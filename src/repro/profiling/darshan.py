@@ -129,6 +129,20 @@ class DarshanProfiler:
                 rec.record(r.start, r.end, r.rank)
         return rec
 
+    def phase_intervals(self, phase: str) -> IntervalRecorder:
+        """Activity intervals of one application-level phase.
+
+        ``phase`` is the name passed to :meth:`record_phase` (e.g.
+        ``"isend"``, ``"stage"``, ``"drain"``) — the ``app:`` prefix is
+        added here.
+        """
+        op = f"app:{phase}"
+        rec = IntervalRecorder(phase)
+        for r in self.records:
+            if r.op == op:
+                rec.record(r.start, r.end, r.rank)
+        return rec
+
     def file_counters(self) -> dict[str, dict[str, float]]:
         """Per-file Darshan-style counters.
 

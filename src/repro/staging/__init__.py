@@ -1,0 +1,36 @@
+"""Multi-tier asynchronous checkpoint staging (burst buffers + drain).
+
+The subsystem behind the bbIO strategy (:class:`repro.ckpt.BurstBufferIO`):
+
+- :mod:`~repro.staging.buffer` — finite-capacity burst-buffer devices with
+  modelled ingest/drain bandwidth (ION- or node-attached);
+- :mod:`~repro.staging.drain` — background DES processes that trickle
+  staged checkpoints to the attached parallel file system between bursts,
+  with watermark-based backpressure;
+- :mod:`~repro.staging.replicate` — optional partner replication across
+  failure domains (restart with zero PFS reads);
+- :mod:`~repro.staging.service` — the per-job facade
+  (:func:`attach_staging`, mirroring :func:`repro.storage.attach_storage`);
+- :mod:`~repro.staging.model` — the multi-level extension of the paper's
+  Eq. 1 (per-tier Young intervals, hierarchy efficiency).
+"""
+
+from .buffer import BurstBuffer, StagingConfig, StagingError
+from .drain import DrainScheduler, StagedPackage
+from .model import MultiLevelModel, TierSpec
+from .replicate import PartnerReplicator
+from .service import StagingService, attach_staging, staging_of
+
+__all__ = [
+    "BurstBuffer",
+    "StagingConfig",
+    "StagingError",
+    "DrainScheduler",
+    "StagedPackage",
+    "MultiLevelModel",
+    "PartnerReplicator",
+    "StagingService",
+    "TierSpec",
+    "attach_staging",
+    "staging_of",
+]

@@ -1,0 +1,172 @@
+"""Background drain: trickle staged checkpoints from the buffer to the PFS.
+
+One drain process runs per writer rank (started lazily at its first staged
+package).  Each process pulls packages off its queue in staging order and
+commits them to the parallel file system through the writer's own
+:class:`~repro.storage.FSClient`, in ``drain_chunk`` bursts:
+
+- below the configured ``high_watermark`` the process paces itself to the
+  ``drain_bandwidth`` target, leaving PFS headroom for everything else the
+  machine is doing (the "trickle" of aggregated asynchronous
+  checkpointing);
+- above the watermark it drains flat out until the buffer is safe again.
+
+When a package's last burst is durably on the PFS the drain frees the
+package's buffer reservation — which is what unparks writers waiting in
+:meth:`~repro.staging.buffer.BurstBuffer.reserve` — and records the drain
+window with the profiler (op name ``app:drain``), giving the Fig. 12-style
+drain-activity timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim import Engine, Event, IntervalRecorder, Store
+from .buffer import BurstBuffer, StagingConfig
+
+__all__ = ["StagedPackage", "DrainScheduler"]
+
+
+class StagedPackage:
+    """One group's aggregated checkpoint, resident in a burst buffer.
+
+    ``nbytes`` is the full file-image size (header + field-major data), the
+    amount reserved in the buffer and later written to the PFS.  ``image``
+    carries real bytes at payload scale and is ``None`` in size-only runs.
+    ``layout`` (a :class:`~repro.ckpt.FileLayout`) lets the restore path
+    slice any member's blocks straight out of the image.
+    """
+
+    __slots__ = ("step", "group", "path", "nbytes", "layout", "image",
+                 "staged_at", "drained")
+
+    def __init__(self, engine: Engine, step: int, group: int, path: str,
+                 nbytes: int, layout: Any = None,
+                 image: Optional[bytes] = None) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative package size: {nbytes}")
+        self.step = step
+        self.group = group
+        self.path = path
+        self.nbytes = int(nbytes)
+        self.layout = layout
+        self.image = image
+        self.staged_at = engine.now
+        #: Triggers when the package is durably on the PFS.
+        self.drained: Event = Event(engine)
+
+    @property
+    def is_drained(self) -> bool:
+        """Whether the PFS commit has completed."""
+        return self.drained.triggered
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "drained" if self.is_drained else "staged"
+        return f"<StagedPackage step={self.step} g={self.group} {self.nbytes}B {state}>"
+
+
+class DrainScheduler:
+    """Writer-side background drain processes for one job.
+
+    Parameters
+    ----------
+    engine:
+        The job's simulation engine.
+    fs_client_of:
+        ``rank -> FSClient`` accessor (the drain commits through the
+        writer's own file-system client, so ION routing and stream
+        accounting stay faithful).
+    config:
+        The staging configuration (chunking, trickle rate, watermark).
+    profiler:
+        Optional :class:`~repro.profiling.DarshanProfiler`; drain windows
+        are recorded as ``app:drain`` phases.
+    """
+
+    def __init__(self, engine: Engine, fs_client_of: Callable[[int], Any],
+                 config: StagingConfig, profiler: Any = None) -> None:
+        self.engine = engine
+        self.fs_client_of = fs_client_of
+        self.config = config
+        self.profiler = profiler
+        self._queues: dict[int, Store] = {}
+        self.intervals = IntervalRecorder("drain")
+        self.packages_drained = 0
+        self.bytes_drained = 0
+        self.last_drain_end = 0.0
+
+    @property
+    def backlog(self) -> int:
+        """Packages staged but not yet picked up by a drain process."""
+        return sum(len(q) for q in self._queues.values())
+
+    def enqueue(self, writer_rank: int, buffer: BurstBuffer,
+                pkg: StagedPackage) -> StagedPackage:
+        """Hand a staged package to ``writer_rank``'s background drain."""
+        queue = self._queues.get(writer_rank)
+        if queue is None:
+            queue = Store(self.engine)
+            self._queues[writer_rank] = queue
+            self.engine.process(
+                self._drain_loop(writer_rank, queue), name=f"drain{writer_rank}"
+            )
+        queue.put((buffer, pkg))
+        return pkg
+
+    # -- the background process -------------------------------------------
+    def _drain_loop(self, rank: int, queue: Store):
+        """Generator: drain packages for one writer rank, forever.
+
+        The process parks on an empty queue between checkpoint bursts; a
+        parked process holds no pending timer, so it never keeps the
+        simulation alive.
+        """
+        cfg = self.config
+        eng = self.engine
+        fsc = self.fs_client_of(rank)
+        while True:
+            buffer, pkg = yield queue.get()
+            t0 = eng.now
+            handle = yield from fsc.create(pkg.path)
+            pos = 0
+            while pos < pkg.nbytes:
+                burst = min(cfg.drain_chunk, pkg.nbytes - pos)
+                t_burst = eng.now
+                # Read the burst off the staging device, then push it to
+                # the PFS; the device read contends with ingest by design.
+                yield buffer.read(burst, via_link=False)
+                chunk = None
+                if pkg.image is not None:
+                    chunk = pkg.image[pos : pos + burst]
+                yield from fsc.write(handle, pos, burst, payload=chunk)
+                pos += burst
+                if (cfg.drain_bandwidth is not None
+                        and (cfg.high_watermark is None
+                             or buffer.fill_fraction < cfg.high_watermark)):
+                    # Trickle pacing: stretch this burst to the target rate.
+                    target = burst / cfg.drain_bandwidth
+                    elapsed = eng.now - t_burst
+                    if elapsed < target:
+                        yield eng.timeout(target - elapsed)
+            yield from fsc.close(handle)
+            buffer.unstage(pkg)
+            buffer.free(pkg.nbytes)
+            t1 = eng.now
+            self.intervals.record(t0, t1, rank)
+            self.packages_drained += 1
+            self.bytes_drained += pkg.nbytes
+            if t1 > self.last_drain_end:
+                self.last_drain_end = t1
+            if self.profiler is not None:
+                self.profiler.record_phase(rank, "drain", t0, t1, pkg.nbytes)
+            pkg.drained.succeed()
+
+    def stats(self) -> dict:
+        """Drain counters (diagnostics / benches)."""
+        return {
+            "packages_drained": self.packages_drained,
+            "bytes_drained": self.bytes_drained,
+            "backlog": self.backlog,
+            "last_drain_end": self.last_drain_end,
+        }

@@ -1,0 +1,102 @@
+"""Partner replication: mirror staged checkpoints across failure domains.
+
+After a writer stages its group's package into its own burst buffer, it may
+additionally push a copy to the buffer of a *partner* writer group (group
+``(g + shift) mod ng``, a different failure domain for any reasonable rank
+layout).  The copy travels over the regular torus fabric and is ingested at
+the partner device's bandwidth, so replication has a real, modelled cost.
+
+The payoff is on restart: if the local buffer was lost with its failure
+domain, the partner's replica serves the entire restore — the group's data
+comes back over the network with **zero PFS reads** (the property
+``bench_ext_staging.py`` asserts).
+
+Each partner buffer holds at most one replica per source group (the most
+recent checkpoint); replacing a replica frees the old reservation before
+taking the new one, so steady-state replica footprint is one package per
+group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..network import Fabric
+from ..sim import Engine
+from .buffer import BurstBuffer, StagingError
+from .drain import StagedPackage
+
+__all__ = ["PartnerReplicator"]
+
+
+class PartnerReplicator:
+    """Copies staged packages to a neighbor failure domain's buffer.
+
+    Parameters
+    ----------
+    engine:
+        The job's simulation engine.
+    fabric:
+        The partition's torus fabric (the copy is real network traffic).
+    buffer_for:
+        ``rank -> BurstBuffer`` accessor (the staging service's own).
+    shift:
+        Partner distance in writer groups; partner of group ``g`` out of
+        ``ng`` is ``(g + shift) mod ng``.
+    """
+
+    def __init__(self, engine: Engine, fabric: Fabric,
+                 buffer_for: Callable[[int], BurstBuffer],
+                 shift: int = 1) -> None:
+        if shift < 1:
+            raise ValueError("shift must be >= 1")
+        self.engine = engine
+        self.fabric = fabric
+        self.buffer_for = buffer_for
+        self.shift = shift
+        self.replicas_made = 0
+        self.bytes_replicated = 0
+
+    def partner_group(self, group: int, n_groups: int) -> int:
+        """The failure-domain partner of ``group``."""
+        if n_groups < 2:
+            raise StagingError(
+                f"partner replication needs >= 2 writer groups, have {n_groups}"
+            )
+        return (group + self.shift) % n_groups
+
+    def replicate(self, pkg: StagedPackage, src_rank: int, partner_rank: int):
+        """Generator: copy ``pkg`` into the partner writer's buffer.
+
+        Blocks until the copy is resident (network transfer + partner
+        device ingest + any capacity wait).  A previous replica of the
+        same source group is evicted first, so the reservation cannot
+        deadlock against a buffer full of stale replicas.
+        """
+        partner = self.buffer_for(partner_rank)
+        old = partner.replicas.pop(pkg.group, None)
+        if old is not None:
+            partner.free(old.nbytes)
+        yield from partner.reserve(pkg.nbytes)
+        yield self.fabric.transfer(src_rank, partner_rank, pkg.nbytes)
+        yield partner.write(pkg.nbytes)
+        replica = StagedPackage(self.engine, pkg.step, pkg.group, pkg.path,
+                                pkg.nbytes, layout=pkg.layout, image=pkg.image)
+        partner.replicas[pkg.group] = replica
+        self.replicas_made += 1
+        self.bytes_replicated += pkg.nbytes
+
+    def find_replica(self, partner_rank: int, group: int,
+                     step: int) -> Optional[StagedPackage]:
+        """The partner-held replica of ``group``'s checkpoint at ``step``."""
+        replica = self.buffer_for(partner_rank).replicas.get(group)
+        if replica is not None and replica.step == step:
+            return replica
+        return None
+
+    def stats(self) -> dict:
+        """Replication counters (diagnostics / benches)."""
+        return {
+            "replicas_made": self.replicas_made,
+            "bytes_replicated": self.bytes_replicated,
+        }

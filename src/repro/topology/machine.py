@@ -18,7 +18,7 @@ see ``DESIGN.md`` sections 6-7; the benchmarks assert the resulting shapes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .torus import TorusTopology
 

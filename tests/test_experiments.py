@@ -11,7 +11,6 @@ import pytest
 from repro.experiments import (
     APPROACHES,
     PAPER_SIZES,
-    ProblemSize,
     TCOMP_PER_STEP,
     clear_cache,
     eq1_production_improvement,

@@ -7,7 +7,6 @@ import pytest
 from repro.ckpt import CollectiveIO, OneFilePerProcess, ReducedBlockingIO
 from repro.nekcem import (
     MaxwellSolver,
-    NekCEMApp,
     box_mesh,
     compute_seconds_per_step,
     run_parallel_solver,

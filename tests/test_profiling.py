@@ -1,6 +1,5 @@
 """Tests for Darshan-style profiling and the figure analyses."""
 
-import numpy as np
 import pytest
 
 from repro.ckpt import OneFilePerProcess, ReducedBlockingIO

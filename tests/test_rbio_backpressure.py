@@ -59,7 +59,6 @@ def test_compute_gap_restores_reduced_blocking():
 
 def test_backpressure_data_still_correct():
     """Flow control must not corrupt the checkpoint contents."""
-    import numpy as np
     from repro.ckpt import CheckpointData, Field
     from repro.mpi import Job
     from repro.storage import attach_storage

@@ -55,3 +55,35 @@ def test_seed_does_not_matter_when_noise_disabled():
     # rbIO uses no stochastic services in quiet mode except the 1PFPP-style
     # jitter (absent here): identical timings.
     assert r1.overall_time == r2.overall_time
+
+
+def test_staging_benchmark_series_bit_identical():
+    """Two same-seed bbIO staging campaigns produce identical series.
+
+    The staging subsystem adds background drain processes, buffer
+    queueing, and partner replication to the event mix — none of which
+    may introduce ordering nondeterminism.
+    """
+    from repro.experiments import ext_staging_run
+    from repro.staging import StagingConfig
+
+    # Capacity must hold one step's residents plus replicas (~1.3 GB per
+    # ION buffer here) but binds across steps, so the campaign exercises
+    # deterministic reserve queueing and stalls too.
+    staging = StagingConfig(capacity_bytes=3 * 1024**3 // 2,
+                            drain_bandwidth=30e6, high_watermark=None,
+                            replicate=True)
+    runs = [
+        ext_staging_run(n_ranks=N, n_steps=3, gap_seconds=2.0,
+                        staging=staging, seed=7)
+        for _ in range(2)
+    ]
+    a, b = runs
+    assert a["per_step_blocking"] == b["per_step_blocking"]
+    assert a["stall_seconds"] == b["stall_seconds"]
+    assert a["stalls"] == b["stalls"]
+    assert a["peak_used"] == b["peak_used"]
+    assert a["last_drain_end"] == b["last_drain_end"]
+    for ra, rb in zip(a["results"], b["results"]):
+        assert np.array_equal(ra.t_complete, rb.t_complete)
+        assert np.array_equal(ra.t_blocked_end, rb.t_blocked_end)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.topology import MachineConfig, PsetMap, TorusTopology, intrepid, torus_dims_for
+from repro.topology import PsetMap, TorusTopology, intrepid, torus_dims_for
 
 
 # ---------------------------------------------------------------------------
