@@ -16,7 +16,14 @@ Four studies (DESIGN.md section 8):
 """
 
 import pytest
-from _common import PAPER_SCALE, SMOKE, bench_np, print_series
+from _common import (
+    PAPER_SCALE,
+    SMOKE,
+    bench_np,
+    bench_record,
+    cached_point,
+    print_series,
+)
 
 from repro.ckpt import CollectiveIO, ReducedBlockingIO
 from repro.experiments import get_run, paper_data, run_checkpoint_step, scaled_problem
@@ -35,11 +42,14 @@ def test_ablation_noise_storms(benchmark):
     """Without shared-load noise the coIO 64:1 collapse at 64K vanishes."""
     def run():
         noisy = get_run("coio_64", NP_BIG).result
-        quiet_cfg = intrepid().quiet()
-        quiet = run_checkpoint_step(
-            CollectiveIO(ranks_per_file=64), NP_BIG, _data(NP_BIG),
-            config=quiet_cfg,
-        ).result
+        quiet = cached_point(
+            "ablation_quiet",
+            lambda: run_checkpoint_step(
+                CollectiveIO(ranks_per_file=64), NP_BIG, _data(NP_BIG),
+                config=intrepid().quiet(),
+            ).result,
+            NP_BIG,
+        )
         return noisy, quiet
 
     noisy, quiet = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -71,12 +81,16 @@ def test_ablation_alignment(benchmark):
     def run():
         out = {}
         for aligned in (True, False):
-            hints = Hints(align_file_domains=aligned)
-            r = run_checkpoint_step(
-                CollectiveIO(ranks_per_file=None, hints=hints),
-                NP_MID, _data(NP_MID), config=intrepid().quiet(),
+            out[aligned] = cached_point(
+                "ablation_alignment",
+                lambda: (lambda r: (r.result, r.fs.stats()))(
+                    run_checkpoint_step(
+                        CollectiveIO(ranks_per_file=None,
+                                     hints=Hints(align_file_domains=aligned)),
+                        NP_MID, _data(NP_MID), config=intrepid().quiet(),
+                    )),
+                aligned, NP_MID,
             )
-            out[aligned] = (r.result, r.fs.stats())
         return out
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -122,6 +136,9 @@ def test_ablation_rbio_ratio(benchmark):
           f"{out[w].write_bandwidth/1e9:.2f} GB/s",
           f"{out[w].blocking_time*1e6:.0f} us"] for w in ratios],
     )
+    bench_record("ablations_rbio_ratio", n_ranks=NP_BIG, gbps={
+        f"{w}:1": out[w].write_bandwidth / 1e9 for w in ratios
+    })
     # Worker blocking stays in microseconds at every ratio.
     for w in ratios:
         assert out[w].blocking_time < 1e-2
@@ -144,14 +161,23 @@ def test_ablation_writer_buffer(benchmark):
     def run():
         out = {}
         for buf in buffers:
-            out[buf] = run_checkpoint_step(
-                ReducedBlockingIO(workers_per_writer=64, writer_buffer=buf),
+            out[buf] = cached_point(
+                "ablation_wbuf",
+                lambda: run_checkpoint_step(
+                    ReducedBlockingIO(workers_per_writer=64,
+                                      writer_buffer=buf),
+                    NP_MID, _data(NP_MID), config=intrepid().quiet(),
+                ).result,
+                buf, NP_MID,
+            )
+        out["nf1"] = cached_point(
+            "ablation_wbuf",
+            lambda: run_checkpoint_step(
+                ReducedBlockingIO(workers_per_writer=64, single_file=True),
                 NP_MID, _data(NP_MID), config=intrepid().quiet(),
-            ).result
-        out["nf1"] = run_checkpoint_step(
-            ReducedBlockingIO(workers_per_writer=64, single_file=True),
-            NP_MID, _data(NP_MID), config=intrepid().quiet(),
-        ).result
+            ).result,
+            "nf1", NP_MID,
+        )
         return out
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)

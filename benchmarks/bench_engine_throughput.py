@@ -1,0 +1,101 @@
+"""DES engine micro-benchmarks: raw event throughput of the hot paths.
+
+The figure sweeps are dominated by three engine workloads: pure timeout
+churn (heap push/pop/dispatch), process ping-pong (event callbacks and
+synchronous resume), and wide collectives (arrival counting plus the
+one-shot completion fan-out).  This bench measures events/second for each
+via the engine's built-in counters (:meth:`~repro.sim.Engine.counters`)
+so hot-path regressions show up as a number, not a vague slowdown.
+"""
+
+from _common import SMOKE, bench_np, bench_record, print_series
+
+from repro.mpi import Job
+from repro.sim import Engine
+from repro.topology import intrepid
+
+N_TIMEOUTS = 20_000 if SMOKE else 200_000
+N_PINGPONG = 10_000 if SMOKE else 100_000
+BARRIER_NP = bench_np(4096, 4096)
+N_BARRIERS = 4 if SMOKE else 16
+
+
+def _timeout_storm() -> Engine:
+    """Many overlapping timeouts: heap throughput, FIFO tie-breaking."""
+    eng = Engine()
+
+    def proc(offset):
+        for i in range(N_TIMEOUTS // 100):
+            yield eng.timeout(((i * 7 + offset) % 13) * 0.001)
+
+    for offset in range(100):
+        eng.process(proc(offset))
+    eng.run()
+    return eng
+
+
+def _ping_pong() -> Engine:
+    """Two processes alternating on events: the resume fast path."""
+    eng = Engine()
+    state = {"ball": None}
+
+    def ping():
+        for _ in range(N_PINGPONG):
+            ev = eng.event()
+            state["ball"] = ev
+            yield eng.timeout(0.0)
+            ev.succeed(None)
+
+    def pong():
+        while state["ball"] is None:
+            yield eng.timeout(0.0)
+        for _ in range(N_PINGPONG):
+            yield eng.timeout(0.0)
+
+    eng.process(ping())
+    eng.process(pong())
+    eng.run()
+    return eng
+
+
+def _wide_barrier() -> Engine:
+    """Repeated full-width barriers at 4K ranks: collective throughput."""
+    job = Job(BARRIER_NP, intrepid().quiet())
+
+    def rank_main(ctx):
+        for _ in range(N_BARRIERS):
+            yield from ctx.comm.barrier()
+
+    job.spawn(rank_main)
+    job.run()
+    return job.engine
+
+
+def test_engine_throughput(benchmark):
+    def run():
+        return {
+            "timeout_storm": _timeout_storm().counters(),
+            "ping_pong": _ping_pong().counters(),
+            "barrier_4k": _wide_barrier().counters(),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "DES engine throughput",
+        ["workload", "events", "wall", "events/sec"],
+        [[name, c["events_processed"], f"{c['wall_seconds']:.2f} s",
+          f"{c['events_per_second']:,.0f}"] for name, c in out.items()],
+    )
+    bench_record("engine_throughput", **{
+        name: {"events": c["events_processed"],
+               "wall_seconds": c["wall_seconds"],
+               "events_per_second": c["events_per_second"]}
+        for name, c in out.items()
+    })
+
+    for name, c in out.items():
+        assert c["events_processed"] > 0, name
+        assert c["events_per_second"] > 0, name
+    # The raw heap path should sustain well beyond 100K events/sec on any
+    # machine this runs on; a big miss means a hot-path regression.
+    assert out["timeout_storm"]["events_per_second"] > 100_000

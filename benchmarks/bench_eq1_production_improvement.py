@@ -9,7 +9,7 @@ the application-*blocking* time (microsecond worker Isends — the effective
 cost once writer drain overlaps computation).
 """
 
-from _common import PAPER_SCALE, SMOKE, bench_np, print_series
+from _common import PAPER_SCALE, SMOKE, bench_np, bench_record, prefetch, print_series
 
 from repro.experiments import eq1_production_improvement
 
@@ -17,6 +17,7 @@ NP = bench_np(16384, 4096)
 
 
 def test_eq1_production_improvement(benchmark):
+    prefetch([("1pfpp", NP), ("rbio_ng", NP)])
     out = benchmark.pedantic(
         lambda: eq1_production_improvement(n_ranks=NP, nc=20),
         rounds=1, iterations=1,
@@ -32,6 +33,11 @@ def test_eq1_production_improvement(benchmark):
             ["improvement (blocking)", f"{out['improvement_blocking']:.1f}x"],
         ],
     )
+    bench_record("eq1_production_improvement", n_ranks=NP,
+                 ratio_1pfpp=out["ratio_1pfpp"],
+                 ratio_rbio_commit=out["ratio_rbio_commit"],
+                 improvement_commit=out["improvement_commit"],
+                 improvement_blocking=out["improvement_blocking"])
 
     if not SMOKE:
         # The 1PFPP metadata/file-count pathology needs real scale; at

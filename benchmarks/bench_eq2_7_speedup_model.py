@@ -6,7 +6,7 @@ This bench evaluates the model from measured bandwidths and cross-checks
 it against blocked processor-seconds measured directly in the simulator.
 """
 
-from _common import PAPER_SCALE, bench_np, print_series
+from _common import PAPER_SCALE, bench_np, bench_record, prefetch, print_series
 
 from repro.experiments import eq2_7_speedup
 
@@ -14,6 +14,7 @@ NP = bench_np(65536, 4096)
 
 
 def test_eq2_7_speedup_model(benchmark):
+    prefetch([("coio_64", NP), ("rbio_ng", NP)])
     out = benchmark.pedantic(
         lambda: eq2_7_speedup(n_ranks=NP), rounds=1, iterations=1
     )
@@ -35,6 +36,10 @@ def test_eq2_7_speedup_model(benchmark):
             ["speedup measured (sim)", f"{out['speedup_measured']:.1f}x"],
         ],
     )
+    bench_record("eq2_7_speedup_model", n_ranks=NP,
+                 speedup_eq5=out["speedup_eq5"],
+                 speedup_eq7=out["speedup_eq7"],
+                 speedup_measured=out["speedup_measured"])
 
     # Eq. 7 approximates Eq. 5 well at lambda = 0.
     assert abs(out["speedup_eq7"] - out["speedup_eq5"]) / out["speedup_eq5"] < 0.35

@@ -14,7 +14,7 @@ read off directly.
   Eq. 6 speedup degrades toward 1/(BW_coIO/BW_rbIO) as the model predicts.
 """
 
-from _common import PAPER_SCALE, bench_np, print_series
+from _common import PAPER_SCALE, bench_np, bench_record, cached_point, print_series
 
 from repro.ckpt import ReducedBlockingIO
 from repro.experiments import paper_data, run_checkpoint_steps, scaled_problem
@@ -26,7 +26,7 @@ NP = bench_np(16384, 2048)
 def test_ext_backpressure_lambda(benchmark):
     data = paper_data(NP) if PAPER_SCALE else scaled_problem(NP).data()
 
-    def run():
+    def measure():
         # Writer commit time from an unconstrained single step.
         probe = run_checkpoint_steps(
             ReducedBlockingIO(workers_per_writer=64), NP, data
@@ -44,6 +44,9 @@ def test_ext_backpressure_lambda(benchmark):
             lam = min(blocked / commit, 1.0)
             out["rows"].append((gap_factor, blocked, lam))
         return out
+
+    def run():
+        return cached_point("ext_backpressure", measure, NP)
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)
     commit = out["commit"]
@@ -66,6 +69,9 @@ def test_ext_backpressure_lambda(benchmark):
         rows,
     )
 
+    bench_record("ext_backpressure", n_ranks=NP, commit_s=commit, lambda_by_gap={
+        f"{g:.1f}x": lam for g, _b, lam in out["rows"]
+    })
     lams = [lam for _g, _b, lam in out["rows"]]
     # Back-to-back checkpoints saturate the writers (lambda large)...
     assert lams[0] > 0.5

@@ -9,7 +9,14 @@ the optimum — confirming the paper's observation that "this optimal number
 could vary from one file system to another".
 """
 
-from _common import PAPER_SCALE, SMOKE, bench_np, print_series
+from _common import (
+    PAPER_SCALE,
+    SMOKE,
+    bench_np,
+    bench_record,
+    cached_point,
+    print_series,
+)
 
 from repro.ckpt import CollectiveIO, ReducedBlockingIO
 from repro.experiments import paper_data, run_checkpoint_step, scaled_problem
@@ -36,17 +43,24 @@ def test_ext_lustre_file_sweep(benchmark):
             if wpw < 2:
                 continue
             for fs_type in ("gpfs", "lustre"):
-                res = run_checkpoint_step(
-                    ReducedBlockingIO(workers_per_writer=wpw), NP, data,
-                    fs_type=fs_type,
-                ).result
-                out[fs_type][nf] = res.write_bandwidth / 1e9
+                out[fs_type][nf] = cached_point(
+                    "ext_lustre",
+                    lambda: run_checkpoint_step(
+                        ReducedBlockingIO(workers_per_writer=wpw), NP, data,
+                        fs_type=fs_type,
+                    ).result.write_bandwidth / 1e9,
+                    fs_type, nf, NP,
+                )
         # Shared-file collective baseline on both.
         for fs_type in ("gpfs", "lustre"):
-            res = run_checkpoint_step(
-                CollectiveIO(ranks_per_file=None), NP, data, fs_type=fs_type
-            ).result
-            out[fs_type]["nf=1 coIO"] = res.write_bandwidth / 1e9
+            out[fs_type]["nf=1 coIO"] = cached_point(
+                "ext_lustre",
+                lambda: run_checkpoint_step(
+                    CollectiveIO(ranks_per_file=None), NP, data,
+                    fs_type=fs_type,
+                ).result.write_bandwidth / 1e9,
+                fs_type, "coio_nf1", NP,
+            )
         return out
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -61,6 +75,10 @@ def test_ext_lustre_file_sweep(benchmark):
         ["file system"] + cols, rows,
     )
 
+    bench_record("ext_lustre", n_ranks=NP, gbps={
+        fs_type: {str(k): out[fs_type][k] for k in keys}
+        for fs_type in ("gpfs", "lustre")
+    })
     # A single shared file on Lustre is capped by its stripe width (4 OSTs
     # of 128 servers) — Dickens & Logan's poor shared-file MPI-IO.
     assert out["lustre"]["nf=1 coIO"] < out["gpfs"]["nf=1 coIO"]

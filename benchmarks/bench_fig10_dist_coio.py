@@ -7,7 +7,7 @@ the collective waits for the slowest.
 """
 
 import numpy as np
-from _common import FIG10_NP, PAPER_SCALE, print_series
+from _common import FIG10_NP, PAPER_SCALE, bench_record, print_series
 
 from repro.experiments import fig10_distribution_coio
 from repro.profiling import distribution_summary
@@ -29,6 +29,9 @@ def test_fig10_distribution_coio(benchmark):
             ["outlier fraction (>3x med)", f"{s['outlier_fraction']:.4f}"],
         ],
     )
+    bench_record("fig10_dist_coio", n_ranks=FIG10_NP, median_s=s["median"],
+                 p95_s=s["p95"], max_s=s["max"],
+                 outlier_fraction=s["outlier_fraction"])
 
     assert len(ranks) == FIG10_NP
     # Much tighter than the 1PFPP spread: median within 4x of p95...

@@ -6,7 +6,7 @@ and a near-zero lower line, the workers' Isend windows.
 """
 
 import numpy as np
-from _common import FIG11_NP, PAPER_SCALE, print_series
+from _common import FIG11_NP, PAPER_SCALE, bench_record, print_series
 
 from repro.experiments import fig11_distribution_rbio
 from repro.profiling import distribution_summary
@@ -28,6 +28,10 @@ def test_fig11_distribution_rbio(benchmark):
              f"{k['max']*1e6:.0f} us", f"{k['max']/max(k['median'],1e-12):.2f}"],
         ],
     )
+    bench_record("fig11_dist_rbio", n_ranks=FIG11_NP,
+                 writer_median_s=w["median"], writer_max_s=w["max"],
+                 worker_median_us=k["median"] * 1e6,
+                 worker_max_us=k["max"] * 1e6)
 
     # Two separated lines: workers orders of magnitude below writers.
     assert k["max"] < w["median"] / 100

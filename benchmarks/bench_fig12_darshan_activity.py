@@ -7,7 +7,7 @@ writers form one tight band.
 """
 
 import numpy as np
-from _common import FIG12_NP, PAPER_SCALE, print_series
+from _common import FIG12_NP, PAPER_SCALE, bench_record, print_series
 
 from repro.experiments import fig12_write_activity
 
@@ -36,6 +36,10 @@ def test_fig12_write_activity(benchmark):
 
     rb = out["rbio_ng"]["active_writers"]
     co = out["coio_64"]["active_writers"]
+    bench_record("fig12_darshan_activity", n_ranks=FIG12_NP,
+                 rbio_peak_active=int(rb.max()), coio_peak_active=int(co.max()),
+                 rbio_write_ops=out["rbio_ng"]["n_write_ops"],
+                 coio_write_ops=out["coio_64"]["n_write_ops"])
     assert rb.max() >= 1 and co.max() >= 1
     if PAPER_SCALE:
         # rbIO: one tight band of ng=512 writers at 32K.

@@ -4,12 +4,13 @@ rbIO and coIO cut the step time by orders of magnitude versus 1PFPP; the
 rbIO bars stay nearly flat up to 65,536 processors.
 """
 
-from _common import PAPER_SCALE, SIZES, print_series
+from _common import PAPER_SCALE, SIZES, bench_record, prefetch, print_series
 
-from repro.experiments import APPROACH_LABELS, fig6_overall_time
+from repro.experiments import APPROACHES, APPROACH_LABELS, fig6_overall_time
 
 
 def test_fig6_overall_time(benchmark):
+    prefetch((key, n) for key in APPROACHES for n in SIZES)
     out = benchmark.pedantic(
         lambda: fig6_overall_time(sizes=SIZES), rounds=1, iterations=1
     )
@@ -19,6 +20,9 @@ def test_fig6_overall_time(benchmark):
     ]
     print_series("Fig 6: overall time per checkpoint step",
                   ["approach"] + [f"np={n}" for n in SIZES], rows)
+    bench_record("fig6_overall_time", seconds={
+        key: {str(n): out[key][n] for n in SIZES} for key in out
+    })
 
     if PAPER_SCALE:
         for n in SIZES:

@@ -7,12 +7,18 @@ workers resume after the Isend window while dedicated writers drain in the
 background; see DESIGN.md §5 and EXPERIMENTS.md for the discrepancy note.)
 """
 
-from _common import PAPER_SCALE, SIZES, print_series
+from _common import PAPER_SCALE, SIZES, bench_record, prefetch, print_series
 
-from repro.experiments import APPROACH_LABELS, TCOMP_PER_STEP, fig7_checkpoint_ratio
+from repro.experiments import (
+    APPROACHES,
+    APPROACH_LABELS,
+    TCOMP_PER_STEP,
+    fig7_checkpoint_ratio,
+)
 
 
 def test_fig7_checkpoint_ratio(benchmark):
+    prefetch((key, n) for key in APPROACHES for n in SIZES)
     out = benchmark.pedantic(
         lambda: fig7_checkpoint_ratio(sizes=SIZES), rounds=1, iterations=1
     )
@@ -24,6 +30,9 @@ def test_fig7_checkpoint_ratio(benchmark):
         f"Fig 7: T(checkpoint)/T(computation)  [Tcomp={TCOMP_PER_STEP}s/step]",
         ["approach"] + [f"np={n}" for n in SIZES], rows,
     )
+    bench_record("fig7_ckpt_ratio", ratio={
+        key: {str(n): out[key][n] for n in SIZES} for key in out
+    }, t_comp=TCOMP_PER_STEP)
 
     for n in SIZES:
         assert out["rbio_ng"][n] < out["coio_64"][n]

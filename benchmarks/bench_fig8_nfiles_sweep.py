@@ -5,12 +5,14 @@ Intrepid's GPFS at 16K, 32K, and 64K processors — too few files can't
 drive the backend, too many thrash it (and flood the step directory).
 """
 
-from _common import FIG8_FILES, PAPER_SCALE, SIZES, print_series
+from _common import FIG8_FILES, PAPER_SCALE, SIZES, bench_record, prefetch, print_series
 
 from repro.experiments import fig8_file_sweep
 
 
 def test_fig8_file_sweep(benchmark):
+    prefetch((f"rbio_nf{nf}", n) for n in SIZES for nf in FIG8_FILES
+             if n // nf >= 2)
     out = benchmark.pedantic(
         lambda: fig8_file_sweep(sizes=SIZES, n_files=FIG8_FILES),
         rounds=1, iterations=1,
@@ -22,6 +24,9 @@ def test_fig8_file_sweep(benchmark):
         ])
     print_series("Fig 8: rbIO (nf=ng) bandwidth (GB/s) vs number of files",
                   ["series"] + [f"nf={nf}" for nf in FIG8_FILES], rows)
+    bench_record("fig8_nfiles_sweep", gbps={
+        str(n): {str(nf): bw for nf, bw in out[n].items()} for n in SIZES
+    })
 
     if PAPER_SCALE:
         for n in SIZES:

@@ -6,7 +6,7 @@ through one directory's metadata.
 """
 
 import numpy as np
-from _common import FIG9_NP, PAPER_SCALE, print_series
+from _common import FIG9_NP, PAPER_SCALE, bench_record, print_series
 
 from repro.experiments import fig9_distribution_1pfpp
 from repro.profiling import distribution_summary
@@ -26,6 +26,8 @@ def test_fig9_distribution_1pfpp(benchmark):
            zip([0, 10, 25, 50, 75, 90, 100], deciles)]
         + [["mean", f"{s['mean']:.1f} s"]],
     )
+    bench_record("fig9_dist_1pfpp", n_ranks=FIG9_NP, mean_s=s["mean"],
+                 p50_s=float(deciles[3]), max_s=float(deciles[-1]))
 
     assert len(ranks) == FIG9_NP
     # Triangular spread: earliest finishers are a small fraction of the max.

@@ -5,7 +5,7 @@ Paper: reading the global mesh takes 7.5 s (E = 136K on 32,768 procs) to
 the optimization focus is the write path.
 """
 
-from _common import PAPER_SCALE, SMOKE, print_series
+from _common import PAPER_SCALE, SMOKE, bench_record, print_series
 
 from repro.experiments.inputread import input_read_time
 
@@ -30,6 +30,9 @@ def test_input_read(benchmark):
           f"{r['bcast']:.2f} s", f"{r['total']:.2f} s"] for r in results],
     )
 
+    bench_record("input_read", total_s={
+        f"np{r['n_ranks']}_E{r['elements']}": r["total"] for r in results
+    })
     for r in results:
         assert r["total"] > 0
         assert r["parse"] > r["bcast"]  # parsing dominates distribution

@@ -7,7 +7,7 @@ read-dominated — no allocation or lock-token costs — so even the nf=1
 single-file layout restores far faster than it wrote.
 """
 
-from _common import PAPER_SCALE, bench_np, print_series
+from _common import PAPER_SCALE, bench_np, bench_record, cached_point, print_series
 
 from repro.ckpt import CollectiveIO, OneFilePerProcess, ReducedBlockingIO
 from repro.experiments import paper_data, run_checkpoint_and_restore, scaled_problem
@@ -25,7 +25,11 @@ def test_restart_read(benchmark):
             ("coIO 64:1", CollectiveIO(ranks_per_file=64)),
             ("rbIO nf=ng", ReducedBlockingIO(workers_per_writer=64)),
         ]:
-            out[label] = run_checkpoint_and_restore(strategy, NP, data)
+            out[label] = cached_point(
+                "restart_read",
+                lambda: run_checkpoint_and_restore(strategy, NP, data),
+                label, NP,
+            )
         return out
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -43,6 +47,9 @@ def test_restart_read(benchmark):
         rows,
     )
 
+    bench_record("restart_read", n_ranks=NP, restore_s={
+        label: r["restore_seconds"] for label, r in out.items()
+    })
     for label, r in out.items():
         assert r["restore_seconds"] > 0
         assert max(r["per_rank_restore"].values()) <= r["restore_seconds"] * 1.01

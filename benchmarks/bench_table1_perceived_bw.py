@@ -7,12 +7,13 @@ data volume because the worker Isend window stays roughly constant
 """
 
 import pytest
-from _common import PAPER_SCALE, SIZES, print_series
+from _common import PAPER_SCALE, SIZES, bench_record, prefetch, print_series
 
 from repro.experiments import table1_perceived
 
 
 def test_table1_perceived(benchmark):
+    prefetch(("rbio_ng", n) for n in SIZES)
     rows = benchmark.pedantic(
         lambda: table1_perceived(sizes=SIZES), rounds=1, iterations=1
     )
@@ -22,6 +23,10 @@ def test_table1_perceived(benchmark):
         [[r["np"], f"{r['time_us']:.1f} us", f"{r['time_cycles']:.0f}",
           f"{r['perceived_tbps']:.0f} TB/s"] for r in rows],
     )
+    bench_record("table1_perceived_bw", rows={
+        str(r["np"]): {"time_us": r["time_us"],
+                       "perceived_tbps": r["perceived_tbps"]} for r in rows
+    })
 
     # Perceived time ~constant under weak scaling => TB/s doubles with S.
     times = [r["time_us"] for r in rows]

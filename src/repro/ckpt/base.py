@@ -50,6 +50,17 @@ class CheckpointStrategy:
         """Strategy parameters for result records / EXPERIMENTS.md rows."""
         return {"name": self.name}
 
+    def coalesce_plan(self, n_ranks: int):
+        """Offer a :class:`~repro.sim.CoalescePlan`, or ``None``.
+
+        A strategy whose ranks are symmetric within groups (identical data,
+        identical schedules) may return a plan so the runner replays each
+        group once.  The default is ``None``: strategies with per-rank
+        divergence (1PFPP's arrival jitter, coIO's per-member file offsets
+        and aggregator roles) must run every rank.
+        """
+        return None
+
     # -- shared helpers -------------------------------------------------------
     def step_dir(self, basedir: str, step: int) -> str:
         """Directory holding one checkpoint step's files."""

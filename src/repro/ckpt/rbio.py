@@ -30,9 +30,11 @@ from typing import Optional
 
 from ..mpi import RankContext
 from ..mpiio import Hints, MPIFile
+from ..sim import CoalescePlan, GroupPlan
 from .base import CheckpointStrategy
 from .data import CheckpointData
 from .layout import FileLayout
+from .result import RankReport
 
 __all__ = ["ReducedBlockingIO"]
 
@@ -112,6 +114,76 @@ class ReducedBlockingIO(CheckpointStrategy):
     def shared_path(self, basedir: str, step: int) -> str:
         """Output path of the single shared file (nf=1 mode)."""
         return f"{self.step_dir(basedir, step)}/all.vtk"
+
+    # -- coalescing --------------------------------------------------------
+    def coalesce_plan(self, n_ranks: int):
+        """Workers within a group are symmetric: replay each group once.
+
+        Coalescing is only exact when workers never diverge; flow control
+        (``max_outstanding``) makes a worker's timeline depend on how many
+        acknowledgements it has already drained, so it disables the plan.
+        """
+        if self.max_outstanding is not None:
+            return None
+        groups = []
+        for g in range(self.n_groups(n_ranks)):
+            w = g * self.workers_per_writer
+            members = tuple(range(w + 1, min(w + self.workers_per_writer, n_ranks)))
+            if members:
+                groups.append(GroupPlan(rep=members[0], members=members))
+        if not groups:
+            return None
+        return CoalescePlan(groups=tuple(groups),
+                            worker_main=self.coalesced_worker_main)
+
+    def coalesced_worker_main(self, ctx: RankContext, members, data:
+                              CheckpointData, steps, basedir: str,
+                              gap_seconds: float, barrier_each_step: bool):
+        """Generator: replay every worker of one group from its representative.
+
+        Mirrors ``runner._rank_main`` + :meth:`_worker` member by member:
+        collective arrivals are entered once per member (same arrival
+        counts, same completion timing), each member's package moves through
+        the fabric as its own transfer (same pipe reservations, so the
+        writer-side incast is bit-identical), and the single shared eager
+        copy time stands in for every member's local Isend completion.
+        """
+        eng = ctx.engine
+        comm = ctx.comm
+        fabric = ctx.job.fabric
+        nbytes = data.total_bytes
+        copy = ctx.config.mpi_overhead + fabric.local_copy_time(nbytes)
+        gviews = None
+        reports: dict[int, list] = {m: [] for m in members}
+        for i, step in enumerate(steps):
+            if i and gap_seconds > 0:
+                yield eng.timeout(gap_seconds)
+            if i == 0 or barrier_each_step:
+                yield from comm.barrier_members(members)
+            if gviews is None:
+                # First step: stand in for every member of the two setup
+                # splits (group comm, then writers-vs-workers comm).
+                gviews = yield from comm.split_members(
+                    [(m, self.group_of(m)) for m in members]
+                )
+                yield from comm.split_members([(m, 1) for m in members])
+            t0 = eng.now
+            tag = _PKG_TAG_BASE + step
+            package = (tuple(data.field_sizes), data.concatenated_payload())
+            for m in members:
+                gviews[m].post(0, nbytes, tag=tag, payload=package)
+            yield eng.timeout(copy)
+            t_done = eng.now
+            if ctx.profiler is not None:
+                for m in members:
+                    ctx.profiler.record_phase(m, "isend", t0, t_done, nbytes)
+            for m in members:
+                reports[m].append(RankReport(
+                    rank=m, role="worker", t_start=t0, t_blocked_end=t_done,
+                    t_complete=t_done, bytes_local=nbytes,
+                    isend_seconds=t_done - t0,
+                ))
+        return reports
 
     # -- setup -------------------------------------------------------------
     def _setup(self, ctx: RankContext):

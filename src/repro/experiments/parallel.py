@@ -1,0 +1,150 @@
+"""Parallel, disk-cached sweep execution for the figure benchmarks.
+
+Regenerating the paper's evaluation means sweeping the same checkpoint
+experiment over (approach x processor count) grids.  Points are fully
+independent — a sweep is embarrassingly parallel — and bit-reproducible
+(every run is seeded), so results can be fanned out across worker
+processes and memoized on disk across benchmark invocations.
+
+Three knobs, all environment-driven so ``pytest benchmarks/`` needs no
+plumbing:
+
+``REPRO_BENCH_PARALLEL``
+    Worker-process count for :func:`run_sweep`.  Unset: one worker per
+    spare core (``cpu_count - 1``, min 1 — i.e. serial on small boxes).
+    ``1`` forces serial (in-process, easiest to debug/profile).
+
+``REPRO_BENCH_CACHE``
+    Disk-cache location.  Unset/empty/``0``: caching off.  ``1``: the
+    default ``.repro-cache/`` under the current directory.  Anything
+    else: used as the cache directory path.
+
+Cache keys hash every input that determines a run's output — approach
+key, rank count, seed, the full :class:`~repro.topology.MachineConfig`
+repr — plus :data:`CACHE_VERSION`, which must be bumped whenever timing
+semantics change anywhere in the simulator (engine, fabric, storage,
+strategies).  Entries are pickles, written atomically (tmp + rename) so
+concurrent sweep workers can share one cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "CACHE_VERSION",
+    "DiskCache",
+    "cache_key",
+    "point_seed",
+    "sweep_cache",
+    "default_workers",
+    "run_sweep",
+]
+
+#: Bump when any change alters simulated timings: cached entries from
+#: earlier versions must never be served as current results.
+CACHE_VERSION = 1
+
+
+def cache_key(*parts: Any) -> str:
+    """Stable content hash over heterogeneous key parts.
+
+    Parts are rendered with ``repr`` — adequate for the scalars, strings,
+    and frozen dataclasses that define a run — and separated unambiguously.
+    """
+    blob = "\x1f".join(repr(p) for p in (CACHE_VERSION,) + parts)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def point_seed(base_seed: Optional[int], *fields: Any) -> Optional[int]:
+    """Deterministic per-point seed derived from a base seed and the point.
+
+    ``None`` stays ``None`` (the unseeded-run convention); otherwise each
+    sweep point gets its own stream, stable across runs and independent of
+    execution order or worker assignment.
+    """
+    if base_seed is None:
+        return None
+    digest = cache_key("seed", base_seed, *fields)
+    return int(digest[:16], 16)
+
+
+class DiskCache:
+    """Pickle-per-entry cache directory; safe for concurrent writers."""
+
+    def __init__(self, root: str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached value, or ``None`` on miss or corrupt entry."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as f:
+                return pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # A torn write (interrupted run) must read as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store atomically: a reader sees the old entry or the new one."""
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def sweep_cache() -> Optional[DiskCache]:
+    """The env-configured disk cache, or ``None`` when caching is off."""
+    spec = os.environ.get("REPRO_BENCH_CACHE", "")
+    if spec in ("", "0"):
+        return None
+    return DiskCache(".repro-cache" if spec == "1" else spec)
+
+
+def default_workers() -> int:
+    """Sweep worker count: ``REPRO_BENCH_PARALLEL`` or one per spare core."""
+    spec = os.environ.get("REPRO_BENCH_PARALLEL", "")
+    if spec:
+        return max(1, int(spec))
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+def run_sweep(fn: Callable[[Any], Any], points: Sequence[Any],
+              n_workers: Optional[int] = None) -> list:
+    """Evaluate ``fn`` over independent sweep points; results in order.
+
+    With more than one worker, points run in a ``ProcessPoolExecutor``
+    (``fn`` and each point must be picklable — use a module-level
+    function).  Serial execution (one worker, or a single point) stays
+    in-process, so closures work and tracebacks are direct.
+    """
+    points = list(points)
+    workers = default_workers() if n_workers is None else max(1, n_workers)
+    if workers <= 1 or len(points) <= 1:
+        return [fn(p) for p in points]
+    with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
+        return list(pool.map(fn, points))

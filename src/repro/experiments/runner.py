@@ -48,13 +48,14 @@ def _data_fn(data: DataBuilder) -> Callable[[int], CheckpointData]:
 
 
 def _rank_main(ctx, strategy: CheckpointStrategy, data_fn, steps: list[int],
-               basedir: str, gap_seconds: float, barrier_each_step: bool):
+               basedir: str, gap_seconds: float, barrier_each_step: bool,
+               writer_set: frozenset):
     data = data_fn(ctx.rank)
     # Dedicated I/O ranks (rbIO writers) do not compute between
-    # checkpoints — they spend the gap draining their backlog.
-    is_writer = False
-    if gap_seconds > 0 and hasattr(strategy, "writer_ranks"):
-        is_writer = ctx.rank in set(strategy.writer_ranks(ctx.comm.size))
+    # checkpoints — they spend the gap draining their backlog.  The writer
+    # set is computed once per run and shared (rebuilding it per rank was
+    # O(np^2) at 65K ranks).
+    is_writer = ctx.rank in writer_set
     reports = []
     for i, step in enumerate(steps):
         if i and gap_seconds > 0 and not is_writer:
@@ -72,6 +73,13 @@ def _rank_main(ctx, strategy: CheckpointStrategy, data_fn, steps: list[int],
     return reports
 
 
+def _rep_main(ctx, worker_main, members, data, steps: list[int], basedir: str,
+              gap_seconds: float, barrier_each_step: bool):
+    """Representative rank: replay a whole symmetric group from one process."""
+    return (yield from worker_main(ctx, members, data, steps, basedir,
+                                   gap_seconds, barrier_each_step))
+
+
 def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
                          data: DataBuilder, n_steps: int = 1,
                          config: Optional[MachineConfig] = None,
@@ -79,7 +87,8 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
                          basedir: str = "/ckpt",
                          fs_type: str = "gpfs",
                          gap_seconds: float = 0.0,
-                         barrier_each_step: bool = True) -> CheckpointRun:
+                         barrier_each_step: bool = True,
+                         coalesce: str = "auto") -> CheckpointRun:
     """Run ``n_steps`` coordinated checkpoint steps; return all results.
 
     Each step writes into its own ``stepNNNNNN`` directory, as NekCEM does
@@ -87,9 +96,18 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
     storage variant ("gpfs" default, "lustre"/"pvfs" for the comparison
     studies); ``gap_seconds`` inserts computation time between checkpoints
     (nc * Tcomp), during which rbIO writers drain their backlog.
+
+    ``coalesce`` controls symmetry-aware rank coalescing (see
+    :mod:`repro.sim.coalesce`): ``"auto"`` (default) accepts the strategy's
+    plan when all ranks share one :class:`~repro.ckpt.CheckpointData`
+    object, ``"off"`` forces the full SPMD run, ``"require"`` raises if no
+    plan is available (used by the exactness tests).  Coalesced runs are
+    bit-identical to uncoalesced ones.
     """
     if n_steps < 1:
         raise ValueError("need at least one step")
+    if coalesce not in ("auto", "off", "require"):
+        raise ValueError(f"coalesce must be auto/off/require, got {coalesce!r}")
     config = config if config is not None else intrepid()
     job = Job(n_ranks, config, seed=seed)
     profiler = DarshanProfiler()
@@ -97,9 +115,50 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
     for ctx in job.contexts:
         ctx.profiler = profiler
     steps = list(range(n_steps))
-    job.spawn(_rank_main, strategy, _data_fn(data), steps, basedir,
-              gap_seconds, barrier_each_step)
+    writer_set = frozenset()
+    if gap_seconds > 0 and hasattr(strategy, "writer_ranks"):
+        writer_set = frozenset(strategy.writer_ranks(n_ranks))
+    plan = None
+    if coalesce != "off" and isinstance(data, CheckpointData):
+        # Per-rank data builders can diverge, so only a single shared
+        # CheckpointData object is provably symmetric.
+        plan = strategy.coalesce_plan(n_ranks)
+    if coalesce == "require" and plan is None:
+        raise ValueError(
+            f"coalesce='require' but {strategy.name} offers no plan for "
+            f"this configuration"
+        )
+    if plan is None:
+        job.spawn(_rank_main, strategy, _data_fn(data), steps, basedir,
+                  gap_seconds, barrier_each_step, writer_set)
+    else:
+        # Spawn in world-rank order (reps in their group's first-worker
+        # slot) so process bootstrap — and with it every same-time event
+        # tie — happens in the same order as the uncoalesced run.
+        rep_members = plan.rep_members()
+        skip = plan.replayed_ranks()
+        data_fn = _data_fn(data)
+        for r in range(n_ranks):
+            if r in skip:
+                continue
+            if r in rep_members:
+                job.spawn(_rep_main, plan.worker_main, rep_members[r], data,
+                          steps, basedir, gap_seconds, barrier_each_step,
+                          ranks=[r])
+            else:
+                job.spawn(_rank_main, strategy, data_fn, steps, basedir,
+                          gap_seconds, barrier_each_step, writer_set,
+                          ranks=[r])
     per_rank = job.run()
+    if plan is not None:
+        # A representative returns {member: [reports]} for its whole group.
+        expanded: dict[int, list] = {}
+        for r, value in per_rank.items():
+            if r in rep_members:
+                expanded.update(value)
+            else:
+                expanded[r] = value
+        per_rank = expanded
     results = []
     for i, step in enumerate(steps):
         reports = {rank: reps[i] for rank, reps in per_rank.items()}
@@ -117,10 +176,11 @@ def run_checkpoint_step(strategy: CheckpointStrategy, n_ranks: int,
                         config: Optional[MachineConfig] = None,
                         seed: Optional[int] = None,
                         basedir: str = "/ckpt",
-                        fs_type: str = "gpfs") -> CheckpointRun:
+                        fs_type: str = "gpfs",
+                        coalesce: str = "auto") -> CheckpointRun:
     """Run a single coordinated checkpoint step."""
     return run_checkpoint_steps(strategy, n_ranks, data, 1, config, seed,
-                                basedir, fs_type)
+                                basedir, fs_type, coalesce=coalesce)
 
 
 def run_checkpoint_and_restore(strategy: CheckpointStrategy, n_ranks: int,

@@ -192,6 +192,20 @@ class Communicator:
             del self._coll_ops[seq]
         return op, is_last
 
+    def _complete_split(self, op: _CollectiveOp) -> None:
+        """Build the sub-communicators of a completed MPI_Comm_split."""
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for c, k, r in op.contrib:
+            groups.setdefault(c, []).append((k, r))
+        member_view: dict[int, CommView] = {}
+        for c, members in groups.items():
+            members.sort()
+            world = [self.world_ranks[r] for _k, r in members]
+            sub = Communicator(self.engine, self.fabric, world)
+            for local, (_k, r) in enumerate(members):
+                member_view[r] = sub.view(local)
+        self._finish_after(op, 2 * self.tree_time(), member_view)
+
     def _finish_after(self, op: _CollectiveOp, delay: float, result: Any) -> None:
         """Trigger a collective's completion event after ``delay``."""
         if delay <= 0:
@@ -269,6 +283,35 @@ class CommView:
             local_done = transport
         return Request(local_done, issued_at, "isend")
 
+    def post(self, dest: int, nbytes: int, tag: int = 0, payload: Any = None) -> None:
+        """Fire-and-forget buffered send (coalescing replay).
+
+        Moves the data through the fabric and delivers to ``dest``'s mailbox
+        exactly like ``isend(..., buffered=True)``, but allocates no
+        sender-side completion event: a coalesced representative replaying a
+        symmetric member's Isend never waits on that member's local
+        completion (it is identical to its own), so the event would be pure
+        heap churn.
+        """
+        comm = self.comm
+        if not 0 <= dest < comm.size:
+            raise MPIError(f"post dest {dest} out of range (size {comm.size})")
+        if nbytes < 0:
+            raise MPIError(f"negative message size {nbytes}")
+        eng = comm.engine
+        issued_at = eng.now
+        transport = comm.fabric.transfer(
+            comm.world_ranks[self.rank], comm.world_ranks[dest], nbytes
+        )
+        mailbox = comm.mailboxes[dest]
+        source_local = self.rank
+
+        def deliver(_ev, mailbox=mailbox, source_local=source_local, tag=tag,
+                    nbytes=nbytes, payload=payload, issued_at=issued_at, eng=eng):
+            mailbox.put(Message(source_local, tag, nbytes, payload, issued_at, eng.now))
+
+        transport.callbacks.append(deliver)
+
     def send(self, dest: int, nbytes: int, tag: int = 0, payload: Any = None):
         """Blocking send (generator): returns when send buffer is reusable."""
         req = self.isend(dest, nbytes, tag=tag, payload=payload)
@@ -306,6 +349,9 @@ class CommView:
         """Generator: wait for all requests; returns their values in order."""
         if not requests:
             return []
+        if len(requests) == 1:
+            value = yield requests[0].event
+            return [value]
         values = yield self.comm.engine.all_of([r.event for r in requests])
         return values
 
@@ -397,21 +443,44 @@ class CommView:
         contrib = (color, key, self.rank)
         op, is_last = comm._collective_enter("split", self.rank, contrib, 0)
         if is_last:
-            groups: dict[int, list[tuple[int, int]]] = {}
-            for c, k, r in op.contrib:
-                groups.setdefault(c, []).append((k, r))
-            subcomms: dict[int, Communicator] = {}
-            member_view: dict[int, CommView] = {}
-            for c, members in groups.items():
-                members.sort()
-                world = [comm.world_ranks[r] for _k, r in members]
-                sub = Communicator(comm.engine, comm.fabric, world)
-                subcomms[c] = sub
-                for local, (_k, r) in enumerate(members):
-                    member_view[r] = sub.view(local)
-            comm._finish_after(op, 2 * comm.tree_time(), member_view)
+            comm._complete_split(op)
         views = yield op.event
         return views[self.rank]
+
+    # ------------------------------------------------------------------
+    # Coalescing replay (multi-member collective entry)
+    # ------------------------------------------------------------------
+    def barrier_members(self, local_ranks):
+        """Generator: enter the next barrier once per represented member.
+
+        Used by a coalescing representative to stand in for every symmetric
+        member of its group: arrival counting, contribution slots, and
+        completion timing are identical to each member entering on its own.
+        """
+        comm = self.comm
+        op = None
+        for lr in local_ranks:
+            op, is_last = comm._collective_enter("barrier", lr, None, 0)
+            if is_last:
+                comm._finish_after(op, 2 * comm.tree_time(), None)
+        yield op.event
+
+    def split_members(self, entries):
+        """Generator: enter the next MPI_Comm_split once per member.
+
+        ``entries`` is a list of ``(local_rank, color)`` pairs (the member's
+        current rank doubles as its ordering key, matching ``split`` with
+        ``key=None``).  Returns ``{local_rank: sub CommView}`` so the
+        representative holds every member's view on its sub-communicator.
+        """
+        comm = self.comm
+        op = None
+        for lr, color in entries:
+            op, is_last = comm._collective_enter("split", lr, (color, lr, lr), 0)
+            if is_last:
+                comm._complete_split(op)
+        views = yield op.event
+        return {lr: views[lr] for lr, _color in entries}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<CommView rank {self.rank}/{self.size} comm #{self.comm.id}>"

@@ -10,6 +10,8 @@ lives in :class:`repro.mpiio.file.MPIFile`.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["RegionMap", "FileDomains", "pick_aggregators"]
@@ -154,14 +156,22 @@ class FileDomains:
         return range(int(first), int(last) + 1)
 
 
+@lru_cache(maxsize=256)
+def _aggregator_placement(comm_size: int, n_aggregators: int) -> tuple[int, ...]:
+    if n_aggregators < 1 or n_aggregators > comm_size:
+        raise ValueError(f"bad aggregator count {n_aggregators} for size {comm_size}")
+    stride = comm_size // n_aggregators
+    return tuple(k * stride for k in range(n_aggregators))
+
+
 def pick_aggregators(comm_size: int, n_aggregators: int) -> list[int]:
     """Evenly spread aggregator ranks over the communicator.
 
     Mirrors the BG/P placement rule: aggregators are distributed over the
     topology so no node hosts more than one (rank striding achieves this
-    under block rank-to-node placement).
+    under block rank-to-node placement).  The placement is a pure function
+    of ``(comm_size, n_aggregators)`` and is memoized: every rank of every
+    collective call consults the same few geometries (hot paths use the
+    cached tuple via :func:`_aggregator_placement` directly).
     """
-    if n_aggregators < 1 or n_aggregators > comm_size:
-        raise ValueError(f"bad aggregator count {n_aggregators} for size {comm_size}")
-    stride = comm_size // n_aggregators
-    return [k * stride for k in range(n_aggregators)]
+    return list(_aggregator_placement(comm_size, n_aggregators))

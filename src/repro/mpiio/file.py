@@ -26,7 +26,7 @@ from typing import Optional
 from ..mpi import CommView, RankContext
 from ..sim import Process
 from ..storage import FSClient, FileHandle
-from .aggregation import FileDomains, RegionMap, pick_aggregators
+from .aggregation import FileDomains, RegionMap, _aggregator_placement
 from .hints import Hints
 
 __all__ = ["MPIFile", "SplitRequest"]
@@ -118,9 +118,19 @@ class MPIFile:
     # Collective I/O
     # ------------------------------------------------------------------
     def write_at_all(self, offset: int, nbytes: int, payload: Optional[bytes] = None):
-        """Generator: blocking collective write (two-phase)."""
-        req = self.write_at_all_begin(offset, nbytes, payload)
-        yield from self.write_at_all_end(req)
+        """Generator: blocking collective write (two-phase).
+
+        Runs the two-phase exchange inline in the calling rank's process:
+        unlike the split-collective begin/end pair there is nothing to
+        overlap, so spawning a dedicated process per rank per call (the
+        dominant object churn of coIO runs) would buy nothing.
+        """
+        self._check_open()
+        if self.comm is None:
+            raise RuntimeError("collective write on an independently opened file")
+        seq = self._call_seq
+        self._call_seq += 1
+        yield from self._two_phase(seq, offset, nbytes, payload)
 
     def write_at_all_begin(self, offset: int, nbytes: int,
                            payload: Optional[bytes] = None) -> SplitRequest:
@@ -166,7 +176,7 @@ class MPIFile:
             regions.lo, regions.hi, n_aggs,
             cfg.fs_block_size, align=hints.align_file_domains,
         )
-        aggregators = pick_aggregators(comm.size, n_aggs)
+        aggregators = _aggregator_placement(comm.size, n_aggs)
 
         # Phase 1: shuffle — send my data to the aggregator(s) owning it.
         send_reqs = []

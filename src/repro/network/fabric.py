@@ -53,6 +53,12 @@ class Fabric:
         self._ejection: dict[int, Pipe] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self._cores_per_node = config.cores_per_node
+        self._intra_overhead = config.mpi_overhead
+        self._mem_bw = config.memory_bandwidth
+        # Checkpoint traffic is many-messages-between-few-node-pairs
+        # (workers -> their writer); hop latency per pair is cached.
+        self._latency_cache: dict[int, float] = {}
 
     # -- pipe accessors ----------------------------------------------------
     def injection(self, node: int) -> Pipe:
@@ -72,12 +78,23 @@ class Fabric:
         return pipe
 
     # -- transfers -----------------------------------------------------------
+    def _pair_latency(self, src: int, dst: int) -> float:
+        """Cached overhead + hop latency between two distinct nodes."""
+        key = src * self.psets.n_nodes + dst
+        lat = self._latency_cache.get(key)
+        if lat is None:
+            hops = self.topology.hops(src, dst)
+            lat = self.config.mpi_overhead + hops * self.config.torus_hop_latency
+            self._latency_cache[key] = lat
+        return lat
+
     def latency_between(self, src_rank: int, dst_rank: int) -> float:
         """Pure latency (overhead + hops) between two ranks' nodes."""
         src = self.psets.node_of_rank(src_rank)
         dst = self.psets.node_of_rank(dst_rank)
-        hops = self.topology.hops(src, dst)
-        return self.config.mpi_overhead + hops * self.config.torus_hop_latency
+        if src == dst:
+            return self.config.mpi_overhead
+        return self._pair_latency(src, dst)
 
     def transfer(self, src_rank: int, dst_rank: int, nbytes: int) -> Event:
         """Move ``nbytes`` from ``src_rank``'s node to ``dst_rank``'s node.
@@ -90,16 +107,15 @@ class Fabric:
         eng = self.engine
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        src = self.psets.node_of_rank(src_rank)
-        dst = self.psets.node_of_rank(dst_rank)
+        cpn = self._cores_per_node
+        src = src_rank // cpn
+        dst = dst_rank // cpn
         if src == dst:
             # Intra-node: one memory-bandwidth copy plus software overhead.
-            delay = self.config.mpi_overhead + nbytes / self.config.memory_bandwidth
-            return eng.timeout(delay)
-        hops = self.topology.hops(src, dst)
+            return eng.timeout(self._intra_overhead + nbytes / self._mem_bw)
         t_inj = self.injection(src).reserve(nbytes)
         t_ej = self.ejection(dst).reserve(nbytes)
-        done = max(t_inj, t_ej) + self.config.mpi_overhead + hops * self.config.torus_hop_latency
+        done = max(t_inj, t_ej) + self._pair_latency(src, dst)
         return eng.timeout(done - eng.now)
 
     def local_copy_time(self, nbytes: int) -> float:

@@ -11,8 +11,11 @@ Public surface:
   :class:`~repro.sim.randomness.NoiseModel` — deterministic noise.
 - :class:`~repro.sim.monitor.Tally`, :class:`~repro.sim.monitor.TimeSeries`,
   :class:`~repro.sim.monitor.IntervalRecorder` — measurement helpers.
+- :class:`~repro.sim.coalesce.CoalescePlan`,
+  :class:`~repro.sim.coalesce.GroupPlan` — symmetry-aware rank coalescing.
 """
 
+from .coalesce import CoalescePlan, GroupPlan
 from .engine import (
     AllOf,
     AnyOf,
@@ -32,6 +35,8 @@ from .resources import Pipe, Resource, Store
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CoalescePlan",
+    "GroupPlan",
     "Engine",
     "Event",
     "Process",

@@ -1,0 +1,95 @@
+"""Symmetry-aware rank coalescing for the DES engine.
+
+At figure scale the simulator replays tens of thousands of rank processes,
+but most of them are *identical by construction*: every rbIO worker in a
+64:1 group contributes the same checkpoint data, resumes from the same
+barrier at the same instant, and performs the same single buffered Isend.
+Simulating each of those ranks as its own generator process buys nothing —
+their timelines are copies of each other.
+
+Coalescing replays each symmetric group **once**: a single *representative*
+process stands in for every member, performing each member's externally
+visible actions (fabric transfers, mailbox deliveries, collective arrivals)
+in member order from one generator.  Because
+
+- per-member transfers still make the same :class:`~repro.sim.Pipe`
+  reservations in the same order (the 63-into-1 writer incast serializes on
+  the writer node's ejection pipe exactly as before),
+- collective operations are still entered once per member (the arrival
+  count, contribution slots, and completion timing of
+  ``Communicator._collective_enter`` are unchanged), and
+- member timelines are identical by symmetry (their reports are synthesized
+  from the representative's observed times),
+
+the coalesced run is *exact*: writers, the file system, and every
+downstream metric see the identical event timeline, at a fraction of the
+process/event count.
+
+Validity limits (enforced by the strategy's ``coalesce_plan`` and the
+experiment runner, documented in DESIGN.md):
+
+- per-member checkpoint data must be identical — the runner only coalesces
+  when every rank shares one :class:`~repro.ckpt.CheckpointData` object;
+- members must never diverge: per-rank RNG draws (1PFPP's arrival jitter),
+  per-member file offsets/FS handles (coIO aggregation), or flow-control
+  acknowledgements (``max_outstanding``) desynchronize the group, so those
+  configurations auto-disable coalescing and run uncoalesced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["GroupPlan", "CoalescePlan"]
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """One symmetric group: ``rep`` replays every rank in ``members``.
+
+    ``members`` are world ranks with identical schedules (``rep`` is the
+    first of them); ranks not covered by any group run uncoalesced.
+    """
+
+    rep: int
+    members: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a coalesce group needs at least one member")
+        if self.rep != self.members[0]:
+            raise ValueError(
+                f"rep {self.rep} must be the first member {self.members[0]}"
+            )
+
+
+@dataclass(frozen=True)
+class CoalescePlan:
+    """A strategy's offer to replay symmetric ranks once.
+
+    ``worker_main(ctx, members, data, steps, basedir, gap_seconds,
+    barrier_each_step)`` is a generator run on each group's representative
+    rank; it must return ``{member_rank: [RankReport, ...]}`` covering every
+    member of that group for every step.
+    """
+
+    groups: tuple[GroupPlan, ...]
+    worker_main: Callable
+
+    def rep_members(self) -> dict[int, tuple[int, ...]]:
+        """Mapping representative rank -> the members it replays."""
+        return {g.rep: g.members for g in self.groups}
+
+    def replayed_ranks(self) -> frozenset:
+        """Ranks that must *not* be spawned (replayed by a representative)."""
+        out = set()
+        for g in self.groups:
+            out.update(g.members)
+            out.discard(g.rep)
+        return frozenset(out)
+
+    @property
+    def n_replayed(self) -> int:
+        """How many rank processes the plan eliminates."""
+        return sum(len(g.members) - 1 for g in self.groups)

@@ -1,0 +1,169 @@
+"""Symmetry-aware rank coalescing must be *exact*, not approximate.
+
+Every test runs the same experiment twice — ``coalesce="off"`` (full SPMD)
+and ``coalesce="require"`` (plan mandatory) — and asserts bit-identical
+results: per-rank report arrays, roles, file-system statistics.  Runs use
+the default (noisy) GPFS model on purpose: any divergence in event ordering
+would desynchronize the noise RNG draw sequence and show up here.
+
+Strategies without a valid plan (1PFPP's per-rank jitter, coIO's per-member
+offsets, flow-controlled rbIO/bbIO) must fall back to the uncoalesced path
+under ``coalesce="auto"``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    BurstBufferIO,
+    CheckpointData,
+    CollectiveIO,
+    Field,
+    OneFilePerProcess,
+    ReducedBlockingIO,
+)
+from repro.experiments import run_checkpoint_step, run_checkpoint_steps
+
+PER_FIELD = 4096
+
+
+def shared_data(n_fields: int = 3, payload: bool = True) -> CheckpointData:
+    """One CheckpointData object shared by every rank (the symmetric case)."""
+    rng = np.random.default_rng(7)
+    fields = []
+    for i in range(n_fields):
+        body = (rng.integers(0, 256, size=PER_FIELD, dtype=np.uint8).tobytes()
+                if payload else None)
+        fields.append(Field(f"f{i}", PER_FIELD, body))
+    return CheckpointData(fields, header_bytes=512)
+
+
+def run_pair(strategy, n_ranks, data, **kwargs):
+    off = run_checkpoint_steps(strategy, n_ranks, data, seed=11,
+                               coalesce="off", **kwargs)
+    on = run_checkpoint_steps(strategy, n_ranks, data, seed=11,
+                              coalesce="require", **kwargs)
+    return off, on
+
+
+def assert_identical(off, on):
+    assert len(off.results) == len(on.results)
+    for a, b in zip(off.results, on.results):
+        assert a.roles == b.roles
+        assert np.array_equal(a.ranks, b.ranks)
+        # Bit-compatibility: exact float equality, no tolerance.
+        for attr in ("t_start", "t_blocked_end", "t_complete", "bytes_local",
+                     "isend_seconds"):
+            assert np.array_equal(getattr(a, attr), getattr(b, attr)), attr
+        assert a.fs_stats == b.fs_stats
+    assert sorted(off.fs.files) == sorted(on.fs.files)
+
+
+# ---------------------------------------------------------------------------
+# rbIO / bbIO: coalescible (workers in a group are symmetric)
+# ---------------------------------------------------------------------------
+
+def test_rbio_single_step_exact():
+    strategy = ReducedBlockingIO(workers_per_writer=8)
+    off, on = run_pair(strategy, 32, shared_data())
+    assert_identical(off, on)
+
+
+def test_rbio_multi_step_with_gap_exact():
+    strategy = ReducedBlockingIO(workers_per_writer=8)
+    off, on = run_pair(strategy, 32, shared_data(), n_steps=3,
+                       gap_seconds=0.5)
+    assert_identical(off, on)
+
+
+def test_rbio_no_per_step_barrier_exact():
+    strategy = ReducedBlockingIO(workers_per_writer=8)
+    off, on = run_pair(strategy, 32, shared_data(), n_steps=3,
+                       gap_seconds=0.5, barrier_each_step=False)
+    assert_identical(off, on)
+
+
+def test_rbio_shared_file_exact():
+    strategy = ReducedBlockingIO(workers_per_writer=8, single_file=True)
+    off, on = run_pair(strategy, 32, shared_data())
+    assert_identical(off, on)
+
+
+def test_rbio_ragged_last_group_exact():
+    # 32 ranks, groups of 12: last group is writer 24 + workers 25..31.
+    strategy = ReducedBlockingIO(workers_per_writer=12)
+    off, on = run_pair(strategy, 32, shared_data())
+    assert_identical(off, on)
+
+
+def test_rbio_file_bytes_identical():
+    strategy = ReducedBlockingIO(workers_per_writer=4)
+    off, on = run_pair(strategy, 16, shared_data())
+    for path, fobj in off.fs.files.items():
+        other = on.fs.files[path]
+        assert fobj.size == other.size, path
+        assert fobj.read_extents(0, fobj.size) == \
+            other.read_extents(0, other.size), path
+
+
+def test_bbio_exact_without_flow_control():
+    strategy = BurstBufferIO(workers_per_writer=8, max_outstanding=None)
+    off, on = run_pair(strategy, 32, shared_data(payload=False), n_steps=2,
+                       gap_seconds=0.5)
+    assert_identical(off, on)
+
+
+def test_coalesce_spawns_fewer_processes():
+    strategy = ReducedBlockingIO(workers_per_writer=8)
+    plan = strategy.coalesce_plan(64)
+    assert plan is not None
+    # 8 groups of 7 workers each -> 6 replayed per group eliminated.
+    assert plan.n_replayed == 8 * 6
+    assert plan.replayed_ranks().isdisjoint(plan.rep_members())
+
+
+# ---------------------------------------------------------------------------
+# Auto-disable: configurations that would diverge fall back, exactly
+# ---------------------------------------------------------------------------
+
+def test_flow_control_disables_plan():
+    assert ReducedBlockingIO(workers_per_writer=8,
+                             max_outstanding=2).coalesce_plan(32) is None
+    assert BurstBufferIO(workers_per_writer=8).coalesce_plan(32) is None
+
+
+def test_flow_control_require_raises():
+    strategy = ReducedBlockingIO(workers_per_writer=8, max_outstanding=2)
+    with pytest.raises(ValueError, match="no plan"):
+        run_checkpoint_step(strategy, 32, shared_data(), coalesce="require")
+
+
+def test_per_rank_data_builder_disables_coalescing():
+    # A callable builder may hand each rank different data: never coalesce.
+    strategy = ReducedBlockingIO(workers_per_writer=8)
+    builder = lambda rank: shared_data()  # noqa: E731
+    with pytest.raises(ValueError, match="no plan"):
+        run_checkpoint_step(strategy, 32, builder, coalesce="require")
+
+
+def test_1pfpp_and_coio_offer_no_plan():
+    assert OneFilePerProcess().coalesce_plan(32) is None
+    assert CollectiveIO().coalesce_plan(32) is None
+
+
+@pytest.mark.parametrize("strategy", [
+    OneFilePerProcess(),
+    CollectiveIO(),
+    ReducedBlockingIO(workers_per_writer=8, max_outstanding=2),
+])
+def test_auto_equals_off_when_no_plan(strategy):
+    data = shared_data(payload=False)
+    off = run_checkpoint_step(strategy, 16, data, seed=3, coalesce="off")
+    auto = run_checkpoint_step(strategy, 16, data, seed=3, coalesce="auto")
+    assert_identical(off, auto)
+
+
+def test_bad_coalesce_value_rejected():
+    with pytest.raises(ValueError, match="auto/off/require"):
+        run_checkpoint_step(ReducedBlockingIO(workers_per_writer=8), 16,
+                            shared_data(), coalesce="yes")

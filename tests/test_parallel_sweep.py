@@ -1,0 +1,164 @@
+"""Tests for the parallel cached sweep runner (repro.experiments.parallel)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.experiments import (
+    DiskCache,
+    cache_key,
+    clear_cache,
+    default_workers,
+    get_run,
+    point_seed,
+    prefetch_runs,
+    run_sweep,
+)
+from repro.experiments.parallel import sweep_cache
+from repro.topology import intrepid
+
+
+# ---------------------------------------------------------------------------
+# Keys and seeds
+# ---------------------------------------------------------------------------
+
+def test_cache_key_stable_and_distinct():
+    a = cache_key("get_run", "rbio_ng", 1024, None, intrepid())
+    b = cache_key("get_run", "rbio_ng", 1024, None, intrepid())
+    c = cache_key("get_run", "rbio_ng", 2048, None, intrepid())
+    assert a == b
+    assert a != c
+    assert len(a) == 64  # sha256 hex
+
+
+def test_cache_key_sensitive_to_config():
+    assert cache_key("x", intrepid()) != cache_key("x", intrepid().quiet())
+
+
+def test_point_seed_deterministic():
+    assert point_seed(7, "rbio_ng", 1024) == point_seed(7, "rbio_ng", 1024)
+    assert point_seed(7, "rbio_ng", 1024) != point_seed(7, "rbio_ng", 2048)
+    assert point_seed(7, "a") != point_seed(8, "a")
+    assert point_seed(None, "a") is None
+
+
+# ---------------------------------------------------------------------------
+# DiskCache
+# ---------------------------------------------------------------------------
+
+def test_disk_cache_roundtrip(tmp_path):
+    cache = DiskCache(tmp_path / "c")
+    assert cache.get("k") is None
+    cache.put("k", {"x": [1, 2, 3]})
+    assert cache.get("k") == {"x": [1, 2, 3]}
+
+
+def test_disk_cache_corrupt_entry_reads_as_miss(tmp_path):
+    cache = DiskCache(tmp_path / "c")
+    cache.put("k", 42)
+    (cache.root / "k.pkl").write_bytes(b"not a pickle")
+    assert cache.get("k") is None
+    # The corrupt entry was evicted; a fresh put works again.
+    cache.put("k", 43)
+    assert cache.get("k") == 43
+
+
+def test_disk_cache_atomic_write_leaves_no_temp_files(tmp_path):
+    cache = DiskCache(tmp_path / "c")
+    cache.put("k", list(range(100)))
+    assert [p.name for p in cache.root.iterdir()] == ["k.pkl"]
+
+
+# ---------------------------------------------------------------------------
+# run_sweep
+# ---------------------------------------------------------------------------
+
+def test_run_sweep_serial_preserves_order():
+    out = run_sweep(lambda p: p * p, [3, 1, 2], n_workers=1)
+    assert out == [9, 1, 4]
+
+
+def _square(x):
+    return x * x
+
+
+def test_run_sweep_parallel_matches_serial():
+    points = list(range(8))
+    assert run_sweep(_square, points, n_workers=2) == \
+        run_sweep(_square, points, n_workers=1)
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_PARALLEL", "3")
+    assert default_workers() == 3
+    monkeypatch.setenv("REPRO_BENCH_PARALLEL", "0")
+    assert default_workers() == 1
+    monkeypatch.delenv("REPRO_BENCH_PARALLEL")
+    assert default_workers() >= 1
+
+
+def test_sweep_cache_env(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+    assert sweep_cache() is None
+    monkeypatch.setenv("REPRO_BENCH_CACHE", "0")
+    assert sweep_cache() is None
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "sc"))
+    cache = sweep_cache()
+    assert cache is not None
+    assert cache.root == tmp_path / "sc"
+
+
+# ---------------------------------------------------------------------------
+# get_run / prefetch_runs integration
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def disk_cached(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+    clear_cache()
+    yield tmp_path / "cache"
+    clear_cache()
+
+
+def test_get_run_populates_and_reads_disk_cache(disk_cached):
+    a = get_run("rbio_ng", 256, seed=5)
+    entries = list(disk_cached.iterdir())
+    assert len(entries) == 1
+    # A cold in-memory cache must be served from disk: same values, no rerun.
+    clear_cache()
+    b = get_run("rbio_ng", 256, seed=5)
+    assert b.result.overall_time == a.result.overall_time
+    assert b.fs_stats == a.fs_stats
+    assert list(disk_cached.iterdir()) == entries
+
+
+def test_disk_cached_summary_matches_fresh_run(disk_cached):
+    warm = get_run("coio_64", 256, seed=5)
+    clear_cache()
+    cached = get_run("coio_64", 256, seed=5)
+    clear_cache()
+    os.environ["REPRO_BENCH_CACHE"] = "0"
+    fresh = get_run("coio_64", 256, seed=5)
+    assert cached.result.write_bandwidth == fresh.result.write_bandwidth
+    assert cached.result.overall_time == warm.result.overall_time
+
+
+def test_prefetch_runs_fills_cache(disk_cached):
+    points = [("rbio_ng", 256), ("1pfpp", 256), ("rbio_ng", 256)]
+    prefetch_runs(points, seed=5, n_workers=1)
+    assert len(list(disk_cached.iterdir())) == 2  # deduplicated
+    # get_run now hits memory cache (disk untouched -> same entry count).
+    get_run("rbio_ng", 256, seed=5)
+    get_run("1pfpp", 256, seed=5)
+    assert len(list(disk_cached.iterdir())) == 2
+
+
+def test_summaries_are_picklable():
+    clear_cache()
+    summary = get_run("rbio_ng", 256, seed=5)
+    blob = pickle.dumps(summary)
+    back = pickle.loads(blob)
+    assert back.result.overall_time == summary.result.overall_time
+    assert len(back.write_intervals) == len(summary.write_intervals)
+    clear_cache()
