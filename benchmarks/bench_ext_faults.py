@@ -1,0 +1,123 @@
+"""Extension: resilience under deterministic fault injection (DESIGN.md §10).
+
+Two studies on top of :mod:`repro.faults`:
+
+1. **Fault-rate overhead sweep** — checkpoint campaigns under growing
+   transient FS fault rates (errors absorbed by bounded retry, stalls by
+   waiting them out).  The zero-rate point must coincide *exactly* with a
+   fault-free run: the injection layer's off-switch is one pointer test
+   on the hot paths, so disabled injection is provably zero-cost.
+2. **Writer-failover campaign** — an rbIO campaign that loses a dedicated
+   writer between generations; a surviving writer adopts the orphaned
+   group, and the coordinated restart falls back to the newest complete
+   generation instead of hanging or silently restoring a partial one.
+
+The fault-rate sweep is a fixed-size study (like the staging drain
+sweep): fault counts are per-campaign, so scaling np only dilutes them.
+"""
+
+from _common import SMOKE, bench_np, bench_record, cached_point, print_series
+
+from repro.ckpt import ReducedBlockingIO
+from repro.experiments import (
+    resilience_sweep,
+    run_checkpoint_steps,
+    run_resilient_campaign,
+    scaled_problem,
+)
+from repro.faults import FaultSchedule, FaultSpec
+
+NP = bench_np(4096, 1024)
+N_STEPS = 2
+GAP = 2.0
+RATES = (0.0, 2.0, 6.0) if SMOKE else (0.0, 2.0, 6.0, 12.0)
+WPW = 64
+
+#: Cumulative metrics; each test re-records so BENCH_ext_faults.json holds
+#: everything the module produced so far.
+_RECORD: dict = {"n_ranks": NP}
+
+
+def _data(n):
+    return scaled_problem(n).data()
+
+
+def test_fault_rate_overhead_sweep(benchmark):
+    """Overhead grows with the injected fault rate; zero rate costs zero."""
+    def run():
+        strat = ReducedBlockingIO(workers_per_writer=WPW)
+        rows = resilience_sweep(strat, NP, _data(NP), RATES,
+                                n_steps=N_STEPS, gap_seconds=GAP,
+                                horizon=GAP * N_STEPS)
+        baseline = run_checkpoint_steps(
+            ReducedBlockingIO(workers_per_writer=WPW), NP, _data(NP),
+            N_STEPS, gap_seconds=GAP, coalesce="off",
+        ).results[-1]
+        return rows, baseline.overall_time
+
+    rows, base_time = benchmark.pedantic(
+        lambda: cached_point("faults_sweep", run, NP, N_STEPS, GAP, RATES),
+        rounds=1, iterations=1,
+    )
+    print_series(
+        f"Fault-rate overhead sweep, rbio np={NP}, {N_STEPS} steps",
+        ["rate", "injected", "overall time", "overhead"],
+        [[f"{r['rate']:.0f}", r["injected"],
+          f"{r['overall_time']:.3f} s", f"{r['overhead']:.3f}x"]
+         for r in rows],
+    )
+    # Zero-cost off-switch: the empty schedule reproduces the fault-free
+    # campaign bit-exactly (same events, same timing).
+    assert rows[0]["rate"] == 0.0
+    assert rows[0]["injected"] == 0
+    assert rows[0]["overall_time"] == base_time
+    # Injected transient faults only ever add time (retry backoff, stall
+    # waits), and the heaviest rate measurably hurts.
+    for r in rows:
+        assert r["overhead"] >= 1.0 - 1e-9
+    assert rows[-1]["injected"] > 0
+    assert rows[-1]["overall_time"] >= rows[0]["overall_time"]
+    _RECORD["sweep"] = [
+        {k: r[k] for k in ("rate", "injected", "overall_time", "overhead")}
+        for r in rows
+    ]
+    bench_record("ext_faults", **_RECORD)
+
+
+def test_writer_failover_campaign(benchmark):
+    """Losing a writer neither hangs the campaign nor corrupts the restart."""
+    crash_rank = 0  # first dedicated writer
+    faults = FaultSchedule((
+        FaultSpec(kind="rank_crash", time=1.0, rank=crash_rank),
+    ))
+
+    def run():
+        campaign = run_resilient_campaign(
+            ReducedBlockingIO(workers_per_writer=WPW), NP, _data(NP),
+            n_steps=N_STEPS, faults=faults, gap_seconds=GAP,
+        )
+        report = campaign.fault_report
+        return {
+            "restored_step": campaign.restored_step,
+            "failovers": report["by_kind"].get("writer_failover", 0),
+            "overall_time": campaign.results[-1].overall_time,
+            "crashed_roles": campaign.results[-1].roles.count("crashed"),
+        }
+
+    out = benchmark.pedantic(
+        lambda: cached_point("faults_failover", run, NP, N_STEPS, GAP),
+        rounds=1, iterations=1,
+    )
+    print_series(
+        f"Writer-failover campaign, rbio np={NP}, crash rank {crash_rank}",
+        ["metric", "value"],
+        [[k, v] for k, v in out.items()],
+    )
+    # The orphaned group was adopted by a survivor in generation 1 ...
+    assert out["failovers"] == 1
+    assert out["crashed_roles"] == 1
+    # ... and the coordinated restart agreed on the newest *complete*
+    # generation (generation 1 misses the dead rank's data).
+    assert out["restored_step"] == 0
+    _RECORD["failover"] = out
+    bench_record("ext_faults", **_RECORD)

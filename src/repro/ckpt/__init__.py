@@ -16,6 +16,7 @@ Plus one extension beyond the paper:
 Plus the shared data/layout/result types and the production-time model.
 """
 
+from ..faults import UnrecoverableCheckpointError
 from .base import CheckpointStrategy
 from .bbio import BurstBufferIO
 from .coio import CollectiveIO
@@ -38,6 +39,7 @@ __all__ = [
     "CheckpointResult",
     "RankReport",
     "CheckpointSchedule",
+    "UnrecoverableCheckpointError",
     "checkpoint_ratio",
     "production_improvement",
 ]

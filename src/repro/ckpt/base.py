@@ -46,6 +46,53 @@ class CheckpointStrategy:
         """
         raise NotImplementedError
 
+    def ghost(self, ctx: RankContext, data: CheckpointData, step: int,
+              basedir: str = "/ckpt"):
+        """Generator: a crashed rank's step-boundary participation.
+
+        The runner calls this instead of :meth:`checkpoint` for ranks the
+        fault schedule has killed.  The default contributes nothing;
+        strategies with collective setup (communicator splits) override it
+        so survivors' collectives still complete deterministically.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def restore_resilient(self, ctx: RankContext, template: CheckpointData,
+                          steps, basedir: str = "/ckpt"):
+        """Generator: restore the newest step all ranks agree is intact.
+
+        Tries each step of ``steps`` (newest first) with :meth:`restore`;
+        a rank whose restore fails validation (missing/truncated file,
+        corrupt package, checksum mismatch) votes it down, and the vote is
+        agreed by a min-allreduce so every rank falls back to the same
+        generation together.  Returns ``(step, fields)`` on success and
+        raises :class:`~repro.faults.UnrecoverableCheckpointError` once no
+        generation survives — never a silently wrong restore.
+        """
+        from ..faults import UnrecoverableCheckpointError
+        from ..staging import StagingError
+        from ..storage import FSError
+
+        last_exc: Any = None
+        for step in steps:
+            ok = 1
+            fields = None
+            try:
+                fields = yield from self.restore(ctx, template, step,
+                                                 basedir=basedir)
+            except (FSError, StagingError, UnrecoverableCheckpointError) as exc:
+                ok = 0
+                last_exc = exc
+            agreed = yield from ctx.comm.allreduce(ok, op=min)
+            if agreed:
+                return step, fields
+        raise UnrecoverableCheckpointError(
+            f"no restorable checkpoint generation among steps {list(steps)!r}"
+            + (f" (last failure: {last_exc})" if last_exc is not None else ""),
+            rank=ctx.rank,
+        )
+
     def describe(self) -> dict[str, Any]:
         """Strategy parameters for result records / EXPERIMENTS.md rows."""
         return {"name": self.name}

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..faults import UnrecoverableCheckpointError
 from ..mpi import RankContext
 from ..mpiio import Hints
 from ..staging import (
@@ -36,6 +37,7 @@ from ..staging import (
     attach_staging,
     staging_of,
 )
+from ..storage import FSError
 from .data import CheckpointData
 from .rbio import ReducedBlockingIO
 
@@ -45,6 +47,11 @@ _RESTORE_TAG = 1 << 25
 
 #: Restore-source preference values.
 _SOURCES = ("auto", "buffer", "partner", "pfs")
+
+#: Scatter payload the restoring writer sends when the staged image turned
+#: out to be corrupt after the tier decision was already broadcast: workers
+#: must raise rather than hang (or worse, accept damaged bytes).
+_CORRUPT = "__bbio_corrupt__"
 
 
 class BurstBufferIO(ReducedBlockingIO):
@@ -116,6 +123,50 @@ class BurstBufferIO(ReducedBlockingIO):
         return partner * self.workers_per_writer
 
     # -- checkpoint --------------------------------------------------------
+    def _stage_package(self, ctx: RankContext, layout, image, step: int,
+                       basedir: str):
+        """Generator: stage the assembled image; degrade to the PFS if the
+        local buffer is unusable.  Returns the tier used."""
+        eng = ctx.engine
+        svc = self._service(ctx)
+        buf = svc.buffer_for(ctx.rank)
+        group = self.group_of(ctx.rank)
+        total = layout.total_size
+        if not buf.lost:
+            try:
+                yield from buf.reserve(total)
+                yield buf.write(total)
+            except StagingError as exc:
+                if exc.op is None:
+                    raise  # usage error (oversized package...), not a fault
+                # Device died under us: fall through to degradation.
+            else:
+                pkg = StagedPackage(eng, step, group,
+                                    self.file_path(basedir, step, group),
+                                    total, layout=layout, image=image)
+                buf.stage(pkg)
+                if svc.replicator is not None:
+                    partner_rank = self._partner_rank(svc, ctx)
+                    try:
+                        yield from svc.replicator.replicate(pkg, ctx.rank,
+                                                            partner_rank)
+                    except StagingError:
+                        # Partner buffer unusable: the local copy and the
+                        # drain's PFS copy still protect this generation.
+                        inj = ctx.job.services.get("faults")
+                        if inj is not None:
+                            inj.log("replica_skipped", rank=ctx.rank,
+                                    step=step, group=group)
+                svc.drain.enqueue(ctx.rank, buf, pkg)
+                return "buffer"
+        # Graceful degradation: local buffer lost — commit straight to the
+        # PFS like rbIO so the generation is still durable.
+        yield from self._commit_private(ctx, layout, image, step, basedir)
+        inj = ctx.job.services.get("faults")
+        if inj is not None:
+            inj.log("bbio_degraded", rank=ctx.rank, step=step, group=group)
+        return "pfs"
+
     def _writer(self, ctx: RankContext, cache: dict, data: CheckpointData,
                 step: int, basedir: str):
         """Writer: gather and reorder as rbIO, then stage instead of commit."""
@@ -124,48 +175,84 @@ class BurstBufferIO(ReducedBlockingIO):
         gcomm = cache["gcomm"]
         layout, image, _, _ = yield from self._gather_group(ctx, gcomm, data,
                                                             step)
-        svc = self._service(ctx)
-        buf = svc.buffer_for(ctx.rank)
-        group = self.group_of(ctx.rank)
-        total = layout.total_size
-        yield from buf.reserve(total)
-        yield buf.write(total)
-        pkg = StagedPackage(eng, step, group,
-                            self.file_path(basedir, step, group), total,
-                            layout=layout, image=image)
-        buf.stage(pkg)
-        if svc.replicator is not None:
-            partner_rank = self._partner_rank(svc, ctx)
-            yield from svc.replicator.replicate(pkg, ctx.rank, partner_rank)
-        svc.drain.enqueue(ctx.rank, buf, pkg)
+        yield from self._stage_package(ctx, layout, image, step, basedir)
         self._ack_group(gcomm)
         t_end = eng.now
         if ctx.profiler is not None:
-            ctx.profiler.record_phase(ctx.rank, "stage", t0, t_end, total)
+            ctx.profiler.record_phase(ctx.rank, "stage", t0, t_end,
+                                      layout.total_size)
+        return self._report(ctx, "writer", t0, t_end, t_end, data.total_bytes)
+
+    def _writer_faulted(self, ctx: RankContext, inj, cache: dict,
+                        data: CheckpointData, step: int, basedir: str,
+                        now: float):
+        """Crash-aware writer step: stage own group (with degradation),
+        adopt orphaned groups with a direct PFS commit."""
+        eng = ctx.engine
+        t0 = eng.now
+        gcomm = cache["gcomm"]
+        g = self.group_of(ctx.rank)
+        n_ranks = ctx.comm.size
+        ng = self.n_groups(n_ranks)
+        base = g * self.workers_per_writer
+        dead_members = tuple(src for src in range(1, gcomm.size)
+                             if inj.dead_at(base + src, now))
+        layout, image, _, _ = yield from self._gather_group(
+            ctx, gcomm, data, step, dead_members=dead_members)
+        yield from self._stage_package(ctx, layout, image, step, basedir)
+        self._ack_group(gcomm, dead_members=dead_members)
+        for w in self.writer_ranks(n_ranks):
+            if not inj.dead_at(w, now):
+                continue
+            og = self.group_of(w)
+            if self._adopter_rank(inj, og, ng, now) == ctx.rank:
+                yield from self._adopt_group(ctx, inj, og, data, step,
+                                             basedir, now)
+        t_end = eng.now
+        if ctx.profiler is not None:
+            ctx.profiler.record_phase(ctx.rank, "stage", t0, t_end,
+                                      layout.total_size)
         return self._report(ctx, "writer", t0, t_end, t_end, data.total_bytes)
 
     # -- restore -----------------------------------------------------------
     def _locate(self, svc: StagingService, ctx: RankContext, step: int):
-        """Find the best available copy: ``(package, tier-name)``."""
+        """Find the best available *trustworthy* copy: ``(package, tier)``.
+
+        Copies whose checksum no longer matches (bit-rot, device loss) are
+        skipped — detected corruption falls through to the next tier.
+        """
         group = self.group_of(ctx.rank)
         want = self.restore_from
+        inj = ctx.job.services.get("faults")
         if want in ("auto", "buffer"):
-            pkg = svc.buffer_for(ctx.rank).resident.get((step, group))
+            buf = svc.buffer_for(ctx.rank)
+            pkg = None if buf.lost else buf.resident.get((step, group))
             if pkg is not None:
-                return pkg, "buffer"
+                if pkg.verify():
+                    return pkg, "buffer"
+                if inj is not None:
+                    inj.log("corruption_detected", tier="buffer", group=group,
+                            step=step, rank=ctx.rank)
             if want == "buffer":
                 raise StagingError(
-                    f"step {step} group {group} is not resident in the buffer"
+                    f"step {step} group {group} is not intact in the buffer"
                 )
         if want in ("auto", "partner"):
             if svc.replicator is not None:
                 partner_rank = self._partner_rank(svc, ctx)
-                pkg = svc.replicator.find_replica(partner_rank, group, step)
+                pbuf = svc.buffer_for(partner_rank)
+                pkg = (None if pbuf.lost
+                       else svc.replicator.find_replica(partner_rank, group,
+                                                        step))
                 if pkg is not None:
-                    return pkg, "partner"
+                    if pkg.verify():
+                        return pkg, "partner"
+                    if inj is not None:
+                        inj.log("corruption_detected", tier="partner",
+                                group=group, step=step, rank=ctx.rank)
             if want == "partner":
                 raise StagingError(
-                    f"no partner replica of step {step} group {group}"
+                    f"no intact partner replica of step {step} group {group}"
                 )
         return None, "pfs"
 
@@ -182,35 +269,75 @@ class BurstBufferIO(ReducedBlockingIO):
         gcomm = cache["gcomm"]
         if not cache["am_writer"]:
             tier = yield from gcomm.bcast(root=0, nbytes=8)
+            if tier == "fail":
+                # Only a forced tier (restore_from="buffer"/"partner") can
+                # fail to serve; "auto" always falls through to the PFS.
+                if self.restore_from != "auto":
+                    raise StagingError(
+                        f"step {step} group {self.group_of(ctx.rank)} is "
+                        f"not intact in the {self.restore_from} tier")
+                raise UnrecoverableCheckpointError(
+                    f"no tier can serve step {step} for group "
+                    f"{self.group_of(ctx.rank)}", step=step, rank=ctx.rank)
             if tier == "pfs":
                 return (yield from super().restore(ctx, template, step,
                                                    basedir))
             msg = yield from gcomm.recv(source=0, tag=_RESTORE_TAG)
+            if msg.payload == _CORRUPT:
+                raise UnrecoverableCheckpointError(
+                    f"staged image of step {step} failed its checksum",
+                    step=step, rank=ctx.rank)
             if msg.payload is None:
                 return [None] * template.n_fields
             return list(msg.payload)
 
         svc = self._service(ctx)
-        pkg, tier = self._locate(svc, ctx, step)
-        if tier == "pfs":
-            # The PFS copy is only durable once the background drain has
-            # committed it; if our package is still in flight, wait it out.
-            pending = svc.buffer_for(ctx.rank).resident.get(
-                (step, self.group_of(ctx.rank))
-            )
-            if pending is not None and not pending.is_drained:
-                yield pending.drained
+        group = self.group_of(ctx.rank)
+        pkg = None
+        try:
+            pkg, tier = self._locate(svc, ctx, step)
+            if tier == "pfs":
+                # The PFS copy is only durable once the background drain has
+                # committed it; if our package is still in flight, wait it
+                # out.  An aborted drain leaves a missing/partial file the
+                # PFS restore path then rejects — consistently for every
+                # member of the group.
+                pending = svc.buffer_for(ctx.rank).resident.get((step, group))
+                if pending is not None and not pending.is_drained:
+                    try:
+                        yield pending.drained
+                    except (StagingError, FSError):
+                        pass
+        except StagingError as exc:
+            # A forced tier (restore_from="buffer"/"partner") has nothing
+            # intact to serve: broadcast the failure so nobody hangs.
+            tier = "fail"
+            forced_exc = exc
         yield from gcomm.bcast(tier, root=0, nbytes=8)
+        if tier == "fail":
+            raise forced_exc
         if tier == "pfs":
             return (yield from super().restore(ctx, template, step, basedir))
 
-        # Pull the staged image back to the writer's memory.
-        if tier == "buffer":
-            yield svc.buffer_for(ctx.rank).read(pkg.nbytes)
-        else:
-            partner_rank = self._partner_rank(svc, ctx)
-            yield svc.buffer_for(partner_rank).read(pkg.nbytes)
-            yield ctx.job.fabric.transfer(partner_rank, ctx.rank, pkg.nbytes)
+        # Pull the staged image back to the writer's memory.  The tier was
+        # already broadcast, so device failures here must not raise before
+        # the workers' scatter messages are sent — note them and tell the
+        # whole group.
+        intact = True
+        try:
+            if tier == "buffer":
+                yield svc.buffer_for(ctx.rank).read(pkg.nbytes)
+            else:
+                partner_rank = self._partner_rank(svc, ctx)
+                yield svc.buffer_for(partner_rank).read(pkg.nbytes)
+                yield ctx.job.fabric.transfer(partner_rank, ctx.rank,
+                                              pkg.nbytes)
+        except StagingError:
+            intact = False
+        # Re-verify after the read: corruption that landed between the
+        # tier decision and now must not be scattered as good data.
+        if intact and not pkg.verify():
+            intact = False
 
         # Scatter members' field blocks; slice straight out of the image.
         layout, image = pkg.layout, pkg.image
@@ -227,7 +354,12 @@ class BurstBufferIO(ReducedBlockingIO):
         for m in range(1, gcomm.size):
             nbytes = sum(layout.block_size(f, m)
                          for f in range(layout.n_fields))
-            gcomm.isend(m, nbytes, tag=_RESTORE_TAG, payload=member_blocks(m))
+            gcomm.isend(m, nbytes, tag=_RESTORE_TAG,
+                        payload=member_blocks(m) if intact else _CORRUPT)
+        if not intact:
+            raise UnrecoverableCheckpointError(
+                f"staged image of step {step} failed its checksum",
+                step=step, path=pkg.path, rank=ctx.rank)
         own = member_blocks(0)
         if own is None:
             return [None] * template.n_fields

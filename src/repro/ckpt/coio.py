@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..faults import UnrecoverableCheckpointError
 from ..mpi import RankContext
 from ..mpiio import Hints, MPIFile
 from .base import CheckpointStrategy
@@ -84,6 +85,19 @@ class CollectiveIO(CheckpointStrategy):
             cache["iocomm"] = comm
         return comm
 
+    def _group_members(self, ctx: RankContext) -> range:
+        """World ranks sharing this rank's output file."""
+        if self.ranks_per_file is None:
+            return range(ctx.comm.size)
+        g = self.group_of(ctx.rank)
+        lo = g * self.ranks_per_file
+        return range(lo, min(lo + self.ranks_per_file, ctx.comm.size))
+
+    def ghost(self, ctx: RankContext, data: CheckpointData, step: int,
+              basedir: str = "/ckpt"):
+        """A crashed rank still joins the (cached) communicator split."""
+        yield from self._iocomm(ctx)
+
     # -- checkpoint -------------------------------------------------------
     def checkpoint(self, ctx: RankContext, data: CheckpointData, step: int,
                    basedir: str = "/ckpt"):
@@ -91,6 +105,14 @@ class CollectiveIO(CheckpointStrategy):
         eng = ctx.engine
         t0 = eng.now
         comm = yield from self._iocomm(ctx)
+        inj = ctx.job.services.get("faults")
+        if inj is not None and inj.has_rank_faults and any(
+                inj.dead_at(r, t0) for r in self._group_members(ctx)):
+            # A dead member can never rejoin the collective; the whole
+            # group skips this generation (every survivor evaluates the
+            # same oracle at the same post-barrier time) and restore falls
+            # back to the newest complete one.
+            return self._report(ctx, "collective", t0, t0, t0, 0)
         layout: FileLayout = yield from comm.allgather(
             list(data.field_sizes), nbytes=8 * data.n_fields,
             map_fn=lambda sizes: FileLayout(data.header_bytes, sizes),
@@ -124,6 +146,11 @@ class CollectiveIO(CheckpointStrategy):
         )
         path = self.file_path(basedir, step, self.group_of(ctx.rank))
         handle = yield from ctx.fs.open(path)
+        if handle.file.size != layout.total_size:
+            yield from ctx.fs.close(handle)
+            raise UnrecoverableCheckpointError(
+                f"{path!r} has {handle.file.size} B, expected "
+                f"{layout.total_size} B", step=step, path=path, rank=ctx.rank)
         fields = []
         for i, fld in enumerate(template.fields):
             offset = layout.block_offset(i, comm.rank)

@@ -15,6 +15,8 @@ rather than an artificial rank-ordered ramp.
 
 from __future__ import annotations
 
+from ..faults import UnrecoverableCheckpointError
+from ..faults.retry import retry_fs
 from ..mpi import RankContext
 from .base import CheckpointStrategy
 from .data import CheckpointData
@@ -55,14 +57,15 @@ class OneFilePerProcess(CheckpointStrategy):
             rng = ctx.job.streams.stream("ckpt.jitter")
             yield eng.timeout(float(rng.random()) * self.arrival_jitter)
         path = self.rank_path(basedir, step, ctx.rank)
-        handle = yield from ctx.fs.create(path)
+        handle = yield from retry_fs(eng, lambda: ctx.fs.create(path))
         # POSIX stream write: header and fields leave the node as one
         # buffered sequential burst.
         total = data.header_bytes + data.total_bytes
         payload = None
         if data.has_payload:
             payload = b"\x00" * data.header_bytes + data.concatenated_payload()
-        yield from ctx.fs.write(handle, 0, total, payload=payload)
+        yield from retry_fs(
+            eng, lambda: ctx.fs.write(handle, 0, total, payload=payload))
         yield from ctx.fs.close(handle)
         t_end = eng.now
         return self._report(ctx, "independent", t0, t_end, t_end, data.total_bytes)
@@ -72,6 +75,14 @@ class OneFilePerProcess(CheckpointStrategy):
         """Generator: read this rank's fields back from its private file."""
         path = self.rank_path(basedir, step, ctx.rank)
         handle = yield from ctx.fs.open(path)
+        expected = template.header_bytes + template.total_bytes
+        if handle.file.size != expected:
+            # Truncated/partial file (e.g. an aborted write): refuse it so
+            # the resilient restore falls back to an older generation.
+            yield from ctx.fs.close(handle)
+            raise UnrecoverableCheckpointError(
+                f"{path!r} has {handle.file.size} B, expected {expected} B",
+                step=step, path=path, rank=ctx.rank)
         fields = []
         offset = template.header_bytes
         for f in template.fields:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..faults import UnrecoverableCheckpointError
 from ..mpi import RankContext
 from ..mpiio import Hints, MPIFile
 from ..sim import CoalescePlan, GroupPlan
@@ -198,15 +199,163 @@ class ReducedBlockingIO(CheckpointStrategy):
             cache["wcomm"] = wcomm if am_writer else None
         return cache
 
+    def ghost(self, ctx: RankContext, data: CheckpointData, step: int,
+              basedir: str = "/ckpt"):
+        """A crashed rank still joins the (cached) communicator splits."""
+        yield from self._setup(ctx)
+
     # -- checkpoint ----------------------------------------------------------
     def checkpoint(self, ctx: RankContext, data: CheckpointData, step: int,
                    basedir: str = "/ckpt"):
         """Generator: worker fast path or writer aggregation-and-commit."""
         cache = yield from self._setup(ctx)
+        inj = ctx.job.services.get("faults")
+        if inj is not None and inj.has_rank_faults:
+            return (yield from self._checkpoint_faulted(ctx, inj, cache, data,
+                                                        step, basedir))
         gcomm = cache["gcomm"]
         if not cache["am_writer"]:
             return (yield from self._worker(ctx, gcomm, data, step))
         return (yield from self._writer(ctx, cache, data, step, basedir))
+
+    # -- failover ------------------------------------------------------------
+    def _adopter_rank(self, inj, group: int, ng: int, now: float) -> int:
+        """World rank of the surviving writer adopting ``group``.
+
+        Every rank evaluates the same deterministic oracle at the same
+        post-barrier time, so workers and the adopter agree without any
+        election traffic: the next alive writer in cyclic group order.
+        """
+        for d in range(1, ng):
+            w = ((group + d) % ng) * self.workers_per_writer
+            if not inj.dead_at(w, now):
+                return w
+        raise UnrecoverableCheckpointError(
+            f"no surviving writer to adopt group {group}")
+
+    def _checkpoint_faulted(self, ctx: RankContext, inj, cache: dict,
+                            data: CheckpointData, step: int, basedir: str):
+        """Crash-aware checkpoint step (identical to the normal path while
+        nobody is dead yet)."""
+        now = ctx.engine.now
+        gcomm = cache["gcomm"]
+        g = self.group_of(ctx.rank)
+        ng = self.n_groups(ctx.comm.size)
+        if not cache["am_writer"]:
+            writer = g * self.workers_per_writer
+            if inj.dead_at(writer, now):
+                target = self._adopter_rank(inj, g, ng, now)
+                return (yield from self._worker_rerouted(ctx, data, step,
+                                                         target))
+            return (yield from self._worker(ctx, gcomm, data, step))
+        return (yield from self._writer_faulted(ctx, inj, cache, data, step,
+                                                basedir, now))
+
+    def _worker_rerouted(self, ctx: RankContext, data: CheckpointData,
+                         step: int, target: int):
+        """Worker whose writer died: send to the adopter over world comm.
+
+        Flow-control state is reset on every writer switch — outstanding
+        packages at the dead writer will never be acknowledged.
+        """
+        eng = ctx.engine
+        t0 = eng.now
+        cache = self._cache(ctx)
+        if self.max_outstanding is not None:
+            if cache.get("ack_target") != target:
+                cache["ack_target"] = target
+                cache["outstanding"] = 0
+            outstanding = cache.get("outstanding", 0)
+            while outstanding >= self.max_outstanding:
+                yield from ctx.comm.recv(source=target, tag=_ACK_TAG)
+                outstanding -= 1
+            cache["outstanding"] = outstanding + 1
+        package = (tuple(data.field_sizes), data.concatenated_payload())
+        req = ctx.comm.isend(target, data.total_bytes,
+                             tag=_PKG_TAG_BASE + step, payload=package,
+                             buffered=True)
+        yield req.event
+        t_done = eng.now
+        if ctx.profiler is not None:
+            ctx.profiler.record_phase(ctx.rank, "isend", t0, t_done,
+                                      data.total_bytes)
+        return self._report(ctx, "worker", t0, t_done, t_done,
+                            data.total_bytes, isend_seconds=t_done - t0)
+
+    def _writer_faulted(self, ctx: RankContext, inj, cache: dict,
+                        data: CheckpointData, step: int, basedir: str,
+                        now: float):
+        """Writer step under a fault schedule: skip dead members, adopt
+        orphaned groups of dead writers."""
+        eng = ctx.engine
+        t0 = eng.now
+        gcomm = cache["gcomm"]
+        g = self.group_of(ctx.rank)
+        n_ranks = ctx.comm.size
+        ng = self.n_groups(n_ranks)
+        base = g * self.workers_per_writer
+        dead_members = tuple(src for src in range(1, gcomm.size)
+                             if inj.dead_at(base + src, now))
+        layout, image, member_sizes, member_payloads = yield from \
+            self._gather_group(ctx, gcomm, data, step,
+                               dead_members=dead_members)
+        dead_writers = [w for w in self.writer_ranks(n_ranks)
+                        if inj.dead_at(w, now)]
+        if not self.single_file:
+            yield from self._commit_private(ctx, layout, image, step, basedir)
+        elif not dead_writers:
+            yield from self._commit_shared(ctx, cache["wcomm"], layout,
+                                           member_sizes, member_payloads,
+                                           data.header_bytes, step, basedir)
+        # nf=1 with a dead writer: the writers' collective can never
+        # complete, so survivors skip this generation's shared commit
+        # entirely (restore falls back past it) but still ack their group.
+        self._ack_group(gcomm, dead_members=dead_members)
+        for w in dead_writers:
+            og = self.group_of(w)
+            if self._adopter_rank(inj, og, ng, now) == ctx.rank:
+                yield from self._adopt_group(ctx, inj, og, data, step,
+                                             basedir, now)
+        t_end = eng.now
+        return self._report(ctx, "writer", t0, t_end, t_end, data.total_bytes)
+
+    def _adopt_group(self, ctx: RankContext, inj, group: int,
+                     data: CheckpointData, step: int, basedir: str,
+                     now: float):
+        """Adopt a dead writer's group: gather its surviving workers'
+        packages over world comm and commit them direct to the PFS.
+
+        The dead writer's own contribution is gone, so the adopted file
+        holds survivors only — a later restore of this generation rejects
+        it by size and falls back; the failover's job is durability of the
+        survivors' data and keeping the campaign running without hangs.
+        """
+        eng = ctx.engine
+        lo = group * self.workers_per_writer
+        hi = min(lo + self.workers_per_writer, ctx.comm.size)
+        alive = [r for r in range(lo + 1, hi) if not inj.dead_at(r, now)]
+        if not alive:
+            return
+        tag = _PKG_TAG_BASE + step
+        member_sizes: list[tuple[int, ...]] = []
+        member_payloads: list[Optional[bytes]] = []
+        for r in alive:
+            msg = yield from ctx.comm.recv(source=r, tag=tag)
+            sizes, payload = msg.payload
+            member_sizes.append(sizes)
+            member_payloads.append(payload)
+        group_bytes = sum(sum(s) for s in member_sizes)
+        yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
+        layout = FileLayout(data.header_bytes,
+                            [list(s) for s in member_sizes])
+        image = self._field_major_image(layout, member_sizes, member_payloads)
+        yield from self._commit_private(ctx, layout, image, step, basedir,
+                                        group=group)
+        if self.max_outstanding is not None:
+            for r in alive:
+                ctx.comm.isend(r, 8, tag=_ACK_TAG, buffered=True)
+        inj.log("writer_failover", group=group, adopter=ctx.rank, step=step,
+                members=len(alive))
 
     def _worker(self, ctx: RankContext, gcomm, data: CheckpointData, step: int):
         """Worker: one buffered Isend of the whole package to the writer.
@@ -236,13 +385,15 @@ class ReducedBlockingIO(CheckpointStrategy):
                             data.total_bytes, isend_seconds=t_done - t0)
 
     def _gather_group(self, ctx: RankContext, gcomm, data: CheckpointData,
-                      step: int):
+                      step: int, dead_members: tuple = ()):
         """Generator: aggregate group packages and reorder to file order.
 
         Returns ``(layout, image, member_sizes, member_payloads)`` — the
         group's :class:`FileLayout`, the assembled field-major file image
         (``None`` in size-only runs), and the raw per-member packages.
         Shared by rbIO's synchronous commit and bbIO's staged commit.
+        ``dead_members`` (group-comm source indices) are skipped: a dead
+        worker sends nothing, so its block is simply absent.
         """
         eng = ctx.engine
         tag = _PKG_TAG_BASE + step
@@ -250,6 +401,8 @@ class ReducedBlockingIO(CheckpointStrategy):
         member_sizes: list[tuple[int, ...]] = [tuple(data.field_sizes)]
         member_payloads: list[Optional[bytes]] = [data.concatenated_payload()]
         for src in range(1, gcomm.size):
+            if src in dead_members:
+                continue
             msg = yield from gcomm.recv(source=src, tag=tag)
             sizes, payload = msg.payload
             member_sizes.append(sizes)
@@ -282,10 +435,12 @@ class ReducedBlockingIO(CheckpointStrategy):
         t_end = eng.now
         return self._report(ctx, "writer", t0, t_end, t_end, data.total_bytes)
 
-    def _ack_group(self, gcomm) -> None:
+    def _ack_group(self, gcomm, dead_members: tuple = ()) -> None:
         """Flow control: acknowledge the commit so workers release a slot."""
         if self.max_outstanding is not None:
             for dst in range(1, gcomm.size):
+                if dst in dead_members:
+                    continue
                 gcomm.isend(dst, 8, tag=_ACK_TAG, buffered=True)
 
     @staticmethod
@@ -306,9 +461,15 @@ class ReducedBlockingIO(CheckpointStrategy):
         return bytes(buf)
 
     def _commit_private(self, ctx: RankContext, layout: FileLayout,
-                        image: Optional[bytes], step: int, basedir: str):
-        """nf=ng: sole-owner file, buffered multi-field flushes."""
-        group = self.group_of(ctx.rank)
+                        image: Optional[bytes], step: int, basedir: str,
+                        group: Optional[int] = None):
+        """nf=ng: sole-owner file, buffered multi-field flushes.
+
+        ``group`` defaults to the writer's own; a failover adopter passes
+        the orphaned group's index so the file lands at its usual path.
+        """
+        if group is None:
+            group = self.group_of(ctx.rank)
         path = self.file_path(basedir, step, group)
         f = yield from MPIFile.open_independent(ctx, path, hints=self.hints)
         total = layout.total_size
@@ -390,6 +551,13 @@ class ReducedBlockingIO(CheckpointStrategy):
             layout = group_layout
             path = self.file_path(basedir, step, self.group_of(ctx.rank))
         handle = yield from ctx.fs.open(path)
+        if handle.file.size != layout.total_size:
+            # Partial generation (aborted commit, failover file holding
+            # survivors only): reject it so the fallback engages.
+            yield from ctx.fs.close(handle)
+            raise UnrecoverableCheckpointError(
+                f"{path!r} has {handle.file.size} B, expected "
+                f"{layout.total_size} B", step=step, path=path, rank=ctx.rank)
         fields = []
         for i, fld in enumerate(template.fields):
             offset = layout.block_offset(i, member)

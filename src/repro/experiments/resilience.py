@@ -1,0 +1,147 @@
+"""Resilience campaigns: faulted checkpoint runs followed by restarts.
+
+Builds on :func:`~repro.experiments.runner.run_checkpoint_steps`:
+
+- :func:`run_resilient_campaign` runs ``n_steps`` coordinated checkpoint
+  steps under a :class:`~repro.faults.FaultSchedule`, then (on the same
+  job, after all background drains settle) a coordinated resilient restore
+  (:meth:`~repro.ckpt.CheckpointStrategy.restore_resilient`) that agrees
+  on the newest generation every rank can read back intact.
+- :func:`resilience_sweep` measures checkpoint overhead as a function of
+  the injected fault rate, with schedules drawn deterministically from a
+  root seed via :meth:`~repro.faults.FaultSchedule.generate`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ckpt import CheckpointStrategy
+from ..faults import FaultConfig, FaultSchedule, faults_of
+from ..sim import StreamRegistry
+from ..topology import MachineConfig, intrepid
+from .runner import CheckpointRun, DataBuilder, _data_fn, run_checkpoint_steps
+
+__all__ = ["ResilientCampaign", "run_resilient_campaign", "resilience_sweep"]
+
+
+class ResilientCampaign:
+    """Outcome of one faulted checkpoint campaign plus its restart."""
+
+    def __init__(self, run: CheckpointRun,
+                 restored: Optional[dict[int, tuple]]) -> None:
+        self.run = run
+        #: ``{rank: (step, fields)}`` from the resilient restore, or ``None``
+        #: when the campaign was run with ``restore=False``.
+        self.restored = restored
+
+    @property
+    def results(self) -> list:
+        """Per-step :class:`~repro.ckpt.CheckpointResult` objects."""
+        return self.run.results
+
+    @property
+    def injector(self):
+        """The job's :class:`~repro.faults.FaultInjector`."""
+        return faults_of(self.run.job)
+
+    @property
+    def fault_report(self) -> dict:
+        """Scheduled/injected fault accounting (see ``FaultInjector.report``)."""
+        return self.injector.report()
+
+    @property
+    def restored_step(self) -> Optional[int]:
+        """The generation the ranks agreed to restore (all ranks agree)."""
+        if not self.restored:
+            return None
+        return next(iter(self.restored.values()))[0]
+
+
+def _restore_main(ctx, strategy: CheckpointStrategy, data_fn, steps, basedir):
+    template = data_fn(ctx.rank)
+    yield from ctx.comm.barrier()  # coordinated restart start
+    step, fields = yield from strategy.restore_resilient(
+        ctx, template, steps, basedir=basedir)
+    return step, fields
+
+
+def run_resilient_campaign(strategy: CheckpointStrategy, n_ranks: int,
+                           data: DataBuilder, n_steps: int = 2,
+                           faults: Optional[FaultSchedule] = None,
+                           config: Optional[MachineConfig] = None,
+                           seed: Optional[int] = None,
+                           basedir: str = "/ckpt",
+                           fs_type: str = "gpfs",
+                           gap_seconds: float = 0.0,
+                           barrier_each_step: bool = True,
+                           coalesce: str = "auto",
+                           restore: bool = True) -> ResilientCampaign:
+    """Checkpoint ``n_steps`` generations under faults, then restart.
+
+    The restore wave is spawned on the *same* job after the checkpoint
+    wave (and every background drain) has completed, trying generations
+    newest first; it returns ``(step, fields)`` per rank or raises
+    :class:`~repro.faults.UnrecoverableCheckpointError` when no generation
+    survives — never a silently corrupt restore.  All ranks participate in
+    the restart (a real restart replaces crashed ranks).
+    """
+    run = run_checkpoint_steps(
+        strategy, n_ranks, data, n_steps, config=config, seed=seed,
+        basedir=basedir, fs_type=fs_type, gap_seconds=gap_seconds,
+        barrier_each_step=barrier_each_step, coalesce=coalesce,
+        faults=faults,
+    )
+    restored = None
+    if restore:
+        steps_newest_first = list(range(n_steps - 1, -1, -1))
+        run.job.spawn(_restore_main, strategy, _data_fn(data),
+                      steps_newest_first, basedir)
+        restored = run.job.run()
+    return ResilientCampaign(run, restored)
+
+
+def resilience_sweep(strategy: CheckpointStrategy, n_ranks: int,
+                     data: DataBuilder,
+                     fault_rates: Sequence[float],
+                     n_steps: int = 2,
+                     config: Optional[MachineConfig] = None,
+                     seed: Optional[int] = None,
+                     fs_type: str = "gpfs",
+                     gap_seconds: float = 0.0,
+                     horizon: float = 10.0) -> list[dict]:
+    """Checkpoint overhead vs. injected transient-fault rate.
+
+    ``fault_rates`` are expected transient FS error counts per campaign
+    (plus half as many stalls); each point's schedule is drawn from a
+    deterministic per-point seed, so the sweep is bit-reproducible from
+    the root seed.  Rate ``0.0`` produces an empty schedule and must cost
+    nothing (the zero-cost off-switch the benches assert).
+    """
+    config = config if config is not None else intrepid()
+    root_seed = config.seed if seed is None else seed
+    rows = []
+    for i, rate in enumerate(fault_rates):
+        cfg = FaultConfig(fs_errors=rate, fs_stalls=rate / 2.0,
+                          horizon=horizon)
+        schedule = FaultSchedule.generate(
+            StreamRegistry(root_seed + 7919 * i), n_ranks, cfg)
+        run = run_checkpoint_steps(
+            strategy, n_ranks, data, n_steps, config=config, seed=seed,
+            fs_type=fs_type, gap_seconds=gap_seconds, faults=schedule,
+        )
+        inj = faults_of(run.job)
+        report = inj.report()
+        result = run.results[-1]
+        rows.append({
+            "rate": float(rate),
+            "scheduled": report["scheduled"],
+            "injected": report["injected"],
+            "overall_time": result.overall_time,
+            "blocking_time": result.blocking_time,
+            "write_bandwidth": result.write_bandwidth,
+        })
+    base = rows[0]["overall_time"] if rows else 0.0
+    for row in rows:
+        row["overhead"] = (row["overall_time"] / base) if base > 0 else 1.0
+    return rows

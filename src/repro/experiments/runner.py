@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Callable, Optional, Union
 
 from ..ckpt import CheckpointData, CheckpointResult, CheckpointStrategy
+from ..ckpt.result import RankReport
+from ..faults import FaultSchedule, attach_faults
 from ..mpi import Job
 from ..profiling import DarshanProfiler
 from ..storage import attach_storage
@@ -56,9 +58,12 @@ def _rank_main(ctx, strategy: CheckpointStrategy, data_fn, steps: list[int],
     # set is computed once per run and shared (rebuilding it per rank was
     # O(np^2) at 65K ranks).
     is_writer = ctx.rank in writer_set
+    inj = ctx.job.services.get("faults")
+    crash_t = inj.crash_time(ctx.rank) if inj is not None else None
     reports = []
     for i, step in enumerate(steps):
-        if i and gap_seconds > 0 and not is_writer:
+        dead = crash_t is not None and ctx.engine.now >= crash_t
+        if i and gap_seconds > 0 and not is_writer and not dead:
             # Computation between checkpoints (nc * Tcomp).
             yield ctx.engine.timeout(gap_seconds)
         if i == 0 or barrier_each_step:
@@ -66,8 +71,21 @@ def _rank_main(ctx, strategy: CheckpointStrategy, data_fn, steps: list[int],
             # ranks iterate at their own pace (the solver's nearest-
             # neighbour coupling, not a global barrier, is what loosely
             # synchronizes a real run) — this is the mode that exposes
-            # rbIO writer backpressure.
+            # rbIO writer backpressure.  Crashed ranks still enter the
+            # barrier: crashes are cooperative at step boundaries, and the
+            # barrier is what makes every rank evaluate the failure
+            # oracle at the same instant.
             yield from ctx.comm.barrier()
+        if crash_t is not None and ctx.engine.now >= crash_t:
+            # This rank is dead for the rest of the campaign.  It ghosts
+            # through any collective setup (communicator splits) so the
+            # survivors' collectives complete, but contributes no data.
+            yield from strategy.ghost(ctx, data, step, basedir)
+            now = ctx.engine.now
+            reports.append(RankReport(
+                rank=ctx.rank, role="crashed", t_start=now,
+                t_blocked_end=now, t_complete=now, bytes_local=0))
+            continue
         report = yield from strategy.checkpoint(ctx, data, step, basedir)
         reports.append(report)
     return reports
@@ -88,7 +106,8 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
                          fs_type: str = "gpfs",
                          gap_seconds: float = 0.0,
                          barrier_each_step: bool = True,
-                         coalesce: str = "auto") -> CheckpointRun:
+                         coalesce: str = "auto",
+                         faults: Optional[FaultSchedule] = None) -> CheckpointRun:
     """Run ``n_steps`` coordinated checkpoint steps; return all results.
 
     Each step writes into its own ``stepNNNNNN`` directory, as NekCEM does
@@ -103,15 +122,24 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
     object, ``"off"`` forces the full SPMD run, ``"require"`` raises if no
     plan is available (used by the exactness tests).  Coalesced runs are
     bit-identical to uncoalesced ones.
+
+    ``faults`` attaches a :class:`~repro.faults.FaultSchedule` to the job
+    (see :mod:`repro.faults`).  A non-empty schedule disables coalescing:
+    faults break the rank symmetry coalescing relies on, so every rank
+    must actually run.
     """
     if n_steps < 1:
         raise ValueError("need at least one step")
     if coalesce not in ("auto", "off", "require"):
         raise ValueError(f"coalesce must be auto/off/require, got {coalesce!r}")
+    if coalesce == "require" and faults:
+        raise ValueError("coalesce='require' is incompatible with a "
+                         "non-empty fault schedule")
     config = config if config is not None else intrepid()
     job = Job(n_ranks, config, seed=seed)
     profiler = DarshanProfiler()
     fs = attach_storage(job, profiler=profiler, fs_type=fs_type)
+    attach_faults(job, faults)
     for ctx in job.contexts:
         ctx.profiler = profiler
     steps = list(range(n_steps))
@@ -119,9 +147,10 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
     if gap_seconds > 0 and hasattr(strategy, "writer_ranks"):
         writer_set = frozenset(strategy.writer_ranks(n_ranks))
     plan = None
-    if coalesce != "off" and isinstance(data, CheckpointData):
+    if coalesce != "off" and isinstance(data, CheckpointData) and not faults:
         # Per-rank data builders can diverge, so only a single shared
-        # CheckpointData object is provably symmetric.
+        # CheckpointData object is provably symmetric.  A non-empty fault
+        # schedule also disqualifies coalescing (rank-targeted faults).
         plan = strategy.coalesce_plan(n_ranks)
     if coalesce == "require" and plan is None:
         raise ValueError(

@@ -1,0 +1,208 @@
+"""Fault schedules: what breaks, where, and at which simulated time.
+
+A schedule is an immutable, ordered tuple of :class:`FaultSpec` records.
+It can be written out literally (the test matrix does) or drawn from a
+:class:`~repro.sim.StreamRegistry` stream via :meth:`FaultSchedule.generate`
+so that one root seed determines every fault of a campaign — the same
+contract the rest of the simulator honours for service-time noise.  Two
+schedules generated from equal seeds and configs are equal element for
+element, which is what makes fault campaigns bit-reproducible.
+
+Spec kinds and the layer they hook (see :mod:`repro.faults.injector`):
+
+========================  =====================================================
+kind                      effect
+========================  =====================================================
+``fs_error``              an FS operation raises :class:`~repro.storage.FSError`
+                          (``transient`` selects retryable vs. fatal)
+``fs_stall``              an FS operation pauses ``delay`` seconds first
+``fs_slow``               server service inflates by ``factor`` for ``duration``
+``net_degrade``           fabric transfers stretch by ``factor`` in the window
+``net_drop``              fabric transfers pay ``delay`` of link-level
+                          retransmission in the window (BG/P links are
+                          reliable; drops surface as latency, not loss)
+``rank_crash``            the rank is dead from ``time`` on (checked at
+                          coordinated step boundaries)
+``buffer_loss``           a burst-buffer device is lost with all residents
+``bit_rot``               a resident staged package is corrupted in place
+``replica_corrupt``       a partner replica is corrupted in place
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..sim import StreamRegistry
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultConfig", "FaultSchedule"]
+
+FAULT_KINDS = (
+    "fs_error",
+    "fs_stall",
+    "fs_slow",
+    "net_degrade",
+    "net_drop",
+    "rank_crash",
+    "buffer_loss",
+    "bit_rot",
+    "replica_corrupt",
+)
+
+#: Kinds that arm the file-system operation hook.
+FS_KINDS = ("fs_error", "fs_stall")
+#: Kinds that arm the fabric transfer hook.
+NET_KINDS = ("net_degrade", "net_drop")
+#: Kinds fired by absolute-time callbacks against the staging tier / FS.
+TIMER_KINDS = ("fs_slow", "buffer_loss", "bit_rot", "replica_corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault (see the module table for kind semantics).
+
+    Matching fields (``rank``, ``op``, ``path``) are filters for the
+    operation-hook kinds; ``None`` matches anything.  ``count`` bounds how
+    many operations an ``fs_error``/``fs_stall`` spec hits once armed.
+    """
+
+    kind: str
+    time: float = 0.0
+    rank: Optional[int] = None
+    op: Optional[str] = None
+    path: Optional[str] = None
+    count: int = 1
+    duration: float = 0.0
+    factor: float = 1.0
+    delay: float = 0.0
+    transient: bool = True
+    step: Optional[int] = None
+    group: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
+        if self.time < 0:
+            raise ValueError(f"negative fault time: {self.time}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.duration < 0 or self.delay < 0:
+            raise ValueError("duration/delay must be non-negative")
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+        if self.kind == "rank_crash" and self.rank is None:
+            raise ValueError("rank_crash needs an explicit rank")
+        if self.kind == "buffer_loss" and self.rank is None:
+            raise ValueError("buffer_loss needs the rank whose buffer is lost")
+        if self.kind in ("bit_rot", "replica_corrupt") and self.group is None:
+            raise ValueError(f"{self.kind} needs the target group")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs for :meth:`FaultSchedule.generate` (rates over one campaign).
+
+    ``*_errors`` style fields are expected *counts* over the campaign; the
+    actual draws (times, target ops, transience) come from the registry's
+    ``"faults.schedule"`` stream.  ``horizon`` is the simulated-time window
+    fault instants are drawn from — size it to cover the checkpoint steps.
+    """
+
+    fs_errors: float = 0.0
+    fs_error_ops: Sequence[str] = ("write", "create")
+    fs_fatal_fraction: float = 0.0
+    fs_stalls: float = 0.0
+    stall_seconds: float = 0.5
+    writer_crash_prob: float = 0.0
+    buffer_loss_prob: float = 0.0
+    replica_corrupt_prob: float = 0.0
+    net_degrade_prob: float = 0.0
+    degrade_factor: float = 4.0
+    degrade_duration: float = 1.0
+    horizon: float = 10.0
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, time-ordered collection of fault specs."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def by_kind(self, *kinds: str) -> tuple[FaultSpec, ...]:
+        """Specs of the given kinds, preserving schedule order."""
+        return tuple(s for s in self.specs if s.kind in kinds)
+
+    @classmethod
+    def generate(cls, streams: StreamRegistry, n_ranks: int,
+                 config: FaultConfig,
+                 writer_ranks: Optional[Sequence[int]] = None
+                 ) -> "FaultSchedule":
+        """Draw a schedule from the registry's ``"faults.schedule"`` stream.
+
+        Equal ``(root seed, n_ranks, config, writer_ranks)`` inputs yield
+        identical schedules; the draw order is fixed, so adding a fault
+        class to the *config* perturbs only that class's draws.
+        """
+        rng = streams.stream("faults.schedule")
+        cfg = config
+        horizon = float(cfg.horizon)
+        specs: list[FaultSpec] = []
+        targets = list(writer_ranks) if writer_ranks else list(range(n_ranks))
+
+        n_err = int(round(cfg.fs_errors))
+        for _ in range(n_err):
+            specs.append(FaultSpec(
+                kind="fs_error",
+                time=float(rng.random()) * horizon,
+                op=str(cfg.fs_error_ops[int(rng.integers(len(cfg.fs_error_ops)))]),
+                transient=bool(rng.random() >= cfg.fs_fatal_fraction),
+            ))
+        n_stall = int(round(cfg.fs_stalls))
+        for _ in range(n_stall):
+            specs.append(FaultSpec(
+                kind="fs_stall",
+                time=float(rng.random()) * horizon,
+                delay=float(cfg.stall_seconds) * (0.5 + float(rng.random())),
+            ))
+        if cfg.writer_crash_prob > 0 and float(rng.random()) < cfg.writer_crash_prob:
+            specs.append(FaultSpec(
+                kind="rank_crash",
+                time=float(rng.random()) * horizon,
+                rank=int(targets[int(rng.integers(len(targets)))]),
+            ))
+        if cfg.buffer_loss_prob > 0 and float(rng.random()) < cfg.buffer_loss_prob:
+            specs.append(FaultSpec(
+                kind="buffer_loss",
+                time=float(rng.random()) * horizon,
+                rank=int(targets[int(rng.integers(len(targets)))]),
+            ))
+        if cfg.replica_corrupt_prob > 0 and float(rng.random()) < cfg.replica_corrupt_prob:
+            specs.append(FaultSpec(
+                kind="replica_corrupt",
+                time=float(rng.random()) * horizon,
+                group=int(rng.integers(max(1, len(targets)))),
+            ))
+        if cfg.net_degrade_prob > 0 and float(rng.random()) < cfg.net_degrade_prob:
+            specs.append(FaultSpec(
+                kind="net_degrade",
+                time=float(rng.random()) * horizon,
+                duration=float(cfg.degrade_duration),
+                factor=float(cfg.degrade_factor),
+            ))
+        # Canonical order: by time, then kind, for stable comparison.
+        specs.sort(key=lambda s: (s.time, s.kind))
+        return cls(tuple(specs))

@@ -112,9 +112,17 @@ class Job:
         self.engine.run(until=until)
         results: dict[int, Any] = {}
         stuck = []
+        # Later spawns for the same rank overwrite earlier results, so a
+        # two-wave campaign (checkpoint, then restore on the same job) reads
+        # the latest wave's values.
         for r, proc in self._rank_procs:
             if proc.is_alive:
                 stuck.append(r)
+            elif not proc.ok:
+                # The process failed but had observers (so the engine did
+                # not crash at fire time); surface its exception here
+                # instead of returning it as a result value.
+                raise proc.value
             else:
                 results[r] = proc.value
         if stuck and until is None:

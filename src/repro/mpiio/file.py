@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..faults.retry import retry_fs
 from ..mpi import CommView, RankContext
 from ..sim import Process
 from ..storage import FSClient, FileHandle
@@ -78,15 +79,17 @@ class MPIFile:
         after a barrier (ROMIO's shared-file open protocol).
         """
         hints = hints or Hints()
+        eng = ctx.fs.fs.engine
         if comm.size == 1:
-            handle = yield from ctx.fs.create(path)
+            handle = yield from retry_fs(eng, lambda: ctx.fs.create(path))
             return cls(comm, ctx.fs, handle, path, hints)
         if comm.rank == 0:
-            handle = yield from ctx.fs.create(path)
+            handle = yield from retry_fs(eng, lambda: ctx.fs.create(path))
             yield from comm.barrier()
         else:
             yield from comm.barrier()
-            handle = yield from ctx.fs.open(path, write=True)
+            handle = yield from retry_fs(
+                eng, lambda: ctx.fs.open(path, write=True))
         return cls(comm, ctx.fs, handle, path, hints)
 
     @classmethod
@@ -97,7 +100,8 @@ class MPIFile:
         This is the rbIO nf=ng writer path: one sole-owner file per writer,
         no collective synchronization, no shared-file lock traffic.
         """
-        handle = yield from ctx.fs.create(path)
+        handle = yield from retry_fs(
+            ctx.fs.fs.engine, lambda: ctx.fs.create(path))
         return cls(None, ctx.fs, handle, path, hints or Hints())
 
     # ------------------------------------------------------------------
@@ -106,7 +110,9 @@ class MPIFile:
     def write_at(self, offset: int, nbytes: int, payload: Optional[bytes] = None):
         """Generator: independent write (MPI_File_write_at)."""
         self._check_open()
-        yield from self.fs.write(self.handle, offset, nbytes, payload=payload)
+        yield from retry_fs(
+            self.fs.fs.engine,
+            lambda: self.fs.write(self.handle, offset, nbytes, payload=payload))
 
     def read_at(self, offset: int, nbytes: int):
         """Generator: independent read; returns stored bytes."""
@@ -241,11 +247,15 @@ class MPIFile:
             data = bytes(buf)
         # Commit in collective-buffer-sized bursts.
         cb = self.hints.cb_buffer_size
+        eng = self.fs.fs.engine
         pos = lo
         while pos < hi:
             burst = min(cb, hi - pos)
             chunk = data[pos - lo : pos - lo + burst] if data is not None else None
-            yield from self.fs.write(self.handle, pos, burst, payload=chunk)
+            yield from retry_fs(
+                eng,
+                lambda p=pos, b=burst, c=chunk:
+                    self.fs.write(self.handle, p, b, payload=c))
             pos += burst
 
     # ------------------------------------------------------------------

@@ -59,6 +59,9 @@ class Fabric:
         # Checkpoint traffic is many-messages-between-few-node-pairs
         # (workers -> their writer); hop latency per pair is cached.
         self._latency_cache: dict[int, float] = {}
+        #: Optional :class:`~repro.faults.FaultInjector`; ``None`` keeps
+        #: transfers on the zero-cost fast path.
+        self.injector = None
 
     # -- pipe accessors ----------------------------------------------------
     def injection(self, node: int) -> Pipe:
@@ -116,6 +119,8 @@ class Fabric:
         t_inj = self.injection(src).reserve(nbytes)
         t_ej = self.ejection(dst).reserve(nbytes)
         done = max(t_inj, t_ej) + self._pair_latency(src, dst)
+        if self.injector is not None:
+            done = self.injector.net_adjust(eng.now, src_rank, dst_rank, done)
         return eng.timeout(done - eng.now)
 
     def local_copy_time(self, nbytes: int) -> float:

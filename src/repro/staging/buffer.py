@@ -35,7 +35,21 @@ __all__ = ["StagingConfig", "BurstBuffer", "StagingError"]
 
 
 class StagingError(RuntimeError):
-    """Raised on invalid staging usage (oversized package, missing replica...)."""
+    """Raised on invalid staging usage or a failed/lost staging tier.
+
+    Mirrors :class:`~repro.storage.FSError`'s context: the failing
+    operation, path, simulated timestamp, and whether a retry could
+    plausibly succeed (``transient``).
+    """
+
+    def __init__(self, message: str, *, op: Optional[str] = None,
+                 path: Optional[str] = None, time: Optional[float] = None,
+                 transient: bool = False) -> None:
+        super().__init__(message)
+        self.op = op
+        self.path = path
+        self.time = time
+        self.transient = transient
 
 
 @dataclass(frozen=True)
@@ -127,6 +141,8 @@ class BurstBuffer:
         self.occupancy = TimeSeries(f"{name}.occupancy")
         self.stall_seconds = 0.0
         self.stalls = 0
+        #: Set by fault injection: the device failed and lost its contents.
+        self.lost = False
 
     # -- capacity ----------------------------------------------------------
     @property
@@ -153,6 +169,9 @@ class BurstBuffer:
         stalls computation when the drain falls behind.
         """
         nbytes = int(nbytes)
+        if self.lost:
+            raise StagingError(f"buffer {self.name} lost", op="reserve",
+                               path=self.name, time=self.engine.now)
         if nbytes < 0:
             raise StagingError(f"negative reservation: {nbytes}")
         if nbytes > self.capacity:
@@ -200,6 +219,9 @@ class BurstBuffer:
 
     def write(self, nbytes: int) -> Event:
         """Event: ``nbytes`` ingested onto the device (link + device pipes)."""
+        if self.lost:
+            raise StagingError(f"buffer {self.name} lost", op="write",
+                               path=self.name, time=self.engine.now)
         if nbytes < 0:
             raise StagingError(f"negative write size: {nbytes}")
         return self._move(nbytes, via_link=True)
@@ -212,9 +234,35 @@ class BurstBuffer:
         host and reads locally (``via_link=False``) — its traffic to the
         PFS is charged by the file-system client instead.
         """
+        if self.lost:
+            raise StagingError(f"buffer {self.name} lost", op="read",
+                               path=self.name, time=self.engine.now)
         if nbytes < 0:
             raise StagingError(f"negative read size: {nbytes}")
         return self._move(nbytes, via_link=via_link)
+
+    def mark_lost(self) -> int:
+        """Fail the device, losing all contents; returns packages lost.
+
+        Every resident package and replica is marked corrupt (so a restore
+        path that still holds a reference detects the loss), residency is
+        cleared, and writers parked in :meth:`reserve` get a
+        :class:`StagingError` thrown into them so nothing hangs on a dead
+        device.
+        """
+        self.lost = True
+        n = len(self.resident) + len(self.replicas)
+        for pkg in self.resident.values():
+            pkg.corrupt = True
+        for pkg in self.replicas.values():
+            pkg.corrupt = True
+        self.resident.clear()
+        self.replicas.clear()
+        while self._waiters:
+            _, ev = self._waiters.popleft()
+            ev.fail(StagingError(f"buffer {self.name} lost", op="reserve",
+                                 path=self.name, time=self.engine.now))
+        return n
 
     # -- residency ---------------------------------------------------------
     def stage(self, pkg: "StagedPackage") -> None:

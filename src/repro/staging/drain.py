@@ -20,10 +20,11 @@ drain-activity timeline.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Callable, Optional
 
 from ..sim import Engine, Event, IntervalRecorder, Store
-from .buffer import BurstBuffer, StagingConfig
+from .buffer import BurstBuffer, StagingConfig, StagingError
 
 __all__ = ["StagedPackage", "DrainScheduler"]
 
@@ -36,10 +37,14 @@ class StagedPackage:
     carries real bytes at payload scale and is ``None`` in size-only runs.
     ``layout`` (a :class:`~repro.ckpt.FileLayout`) lets the restore path
     slice any member's blocks straight out of the image.
+
+    A CRC of the image is taken at staging time; :meth:`verify` re-checks
+    it before any consumer (drain, restore) trusts the resident bytes.  In
+    size-only runs corruption is modelled by the ``corrupt`` flag alone.
     """
 
     __slots__ = ("step", "group", "path", "nbytes", "layout", "image",
-                 "staged_at", "drained")
+                 "staged_at", "drained", "checksum", "corrupt")
 
     def __init__(self, engine: Engine, step: int, group: int, path: str,
                  nbytes: int, layout: Any = None,
@@ -55,6 +60,20 @@ class StagedPackage:
         self.staged_at = engine.now
         #: Triggers when the package is durably on the PFS.
         self.drained: Event = Event(engine)
+        #: CRC32 of ``image`` at staging time (``None`` in size-only runs).
+        self.checksum: Optional[int] = (
+            zlib.crc32(image) if image is not None else None
+        )
+        #: Set by fault injection (bit-rot, device loss).
+        self.corrupt = False
+
+    def verify(self) -> bool:
+        """Whether the package's bytes can still be trusted."""
+        if self.corrupt:
+            return False
+        if self.image is not None and self.checksum is not None:
+            return zlib.crc32(self.image) == self.checksum
+        return True
 
     @property
     def is_drained(self) -> bool:
@@ -94,6 +113,7 @@ class DrainScheduler:
         self.intervals = IntervalRecorder("drain")
         self.packages_drained = 0
         self.bytes_drained = 0
+        self.packages_aborted = 0
         self.last_drain_end = 0.0
 
     @property
@@ -122,36 +142,78 @@ class DrainScheduler:
         parked process holds no pending timer, so it never keeps the
         simulation alive.
         """
+        from ..faults.retry import retry_fs
+        from ..storage import FSError
+
         cfg = self.config
         eng = self.engine
         fsc = self.fs_client_of(rank)
         while True:
             buffer, pkg = yield queue.get()
             t0 = eng.now
-            handle = yield from fsc.create(pkg.path)
-            pos = 0
-            while pos < pkg.nbytes:
-                burst = min(cfg.drain_chunk, pkg.nbytes - pos)
-                t_burst = eng.now
-                # Read the burst off the staging device, then push it to
-                # the PFS; the device read contends with ingest by design.
-                yield buffer.read(burst, via_link=False)
-                chunk = None
-                if pkg.image is not None:
-                    chunk = pkg.image[pos : pos + burst]
-                yield from fsc.write(handle, pos, burst, payload=chunk)
-                pos += burst
-                if (cfg.drain_bandwidth is not None
-                        and (cfg.high_watermark is None
-                             or buffer.fill_fraction < cfg.high_watermark)):
-                    # Trickle pacing: stretch this burst to the target rate.
-                    target = burst / cfg.drain_bandwidth
-                    elapsed = eng.now - t_burst
-                    if elapsed < target:
-                        yield eng.timeout(target - elapsed)
-            yield from fsc.close(handle)
+            handle = None
+            try:
+                # Trust nothing that sat in the buffer: a lost device or a
+                # rotted package must not propagate to the PFS as a
+                # plausible-looking checkpoint file.
+                if buffer.lost or not pkg.verify():
+                    raise StagingError(
+                        f"package {pkg.path!r} unreadable before drain",
+                        op="drain", path=pkg.path, time=eng.now)
+                handle = yield from retry_fs(
+                    eng, lambda: fsc.create(pkg.path))
+                pos = 0
+                while pos < pkg.nbytes:
+                    # Re-check every burst: bit-rot landing mid-drain must
+                    # abort with a short (rejectable) file, never complete
+                    # a full-size file holding corrupt bytes.
+                    if buffer.lost or not pkg.verify():
+                        raise StagingError(
+                            f"package {pkg.path!r} rotted during drain",
+                            op="drain", path=pkg.path, time=eng.now)
+                    burst = min(cfg.drain_chunk, pkg.nbytes - pos)
+                    t_burst = eng.now
+                    # Read the burst off the staging device, then push it to
+                    # the PFS; the device read contends with ingest by design.
+                    yield buffer.read(burst, via_link=False)
+                    chunk = None
+                    if pkg.image is not None:
+                        chunk = pkg.image[pos : pos + burst]
+                    yield from retry_fs(
+                        eng, lambda h=handle, p=pos, b=burst, c=chunk:
+                            fsc.write(h, p, b, payload=c))
+                    pos += burst
+                    if (cfg.drain_bandwidth is not None
+                            and (cfg.high_watermark is None
+                                 or buffer.fill_fraction < cfg.high_watermark)):
+                        # Trickle pacing: stretch this burst to the target rate.
+                        target = burst / cfg.drain_bandwidth
+                        elapsed = eng.now - t_burst
+                        if elapsed < target:
+                            yield eng.timeout(target - elapsed)
+                yield from fsc.close(handle)
+                handle = None
+            except (FSError, StagingError) as exc:
+                # Abort this package: leave the partial PFS file (size
+                # validation rejects it on restore), release the buffer,
+                # and fail the drained event so waiters learn the truth.
+                if handle is not None and not handle.closed:
+                    try:
+                        yield from fsc.close(handle)
+                    except (FSError, StagingError):
+                        pass
+                buffer.unstage(pkg)
+                if not buffer.lost:
+                    buffer.free(pkg.nbytes)
+                self.packages_aborted += 1
+                if not pkg.drained.triggered:
+                    pkg.drained.fail(StagingError(
+                        f"drain of {pkg.path!r} aborted: {exc}",
+                        op="drain", path=pkg.path, time=eng.now))
+                continue
             buffer.unstage(pkg)
-            buffer.free(pkg.nbytes)
+            if not buffer.lost:
+                buffer.free(pkg.nbytes)
             t1 = eng.now
             self.intervals.record(t0, t1, rank)
             self.packages_drained += 1
@@ -167,6 +229,7 @@ class DrainScheduler:
         return {
             "packages_drained": self.packages_drained,
             "bytes_drained": self.bytes_drained,
+            "packages_aborted": self.packages_aborted,
             "backlog": self.backlog,
             "last_drain_end": self.last_drain_end,
         }

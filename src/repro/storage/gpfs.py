@@ -56,7 +56,22 @@ __all__ = ["GPFS", "FSClient", "FileHandle", "FileObject", "FSError"]
 
 
 class FSError(RuntimeError):
-    """Raised on invalid file-system usage (missing file, closed handle...)."""
+    """Raised on invalid file-system usage or an injected I/O failure.
+
+    Carries the failing operation, path, and simulated timestamp so retry
+    and fallback logic can discriminate errors.  ``transient`` marks
+    retryable failures (see :func:`repro.faults.retry_fs`); usage errors
+    and fatal injected faults leave it ``False``.
+    """
+
+    def __init__(self, message: str, *, op: Optional[str] = None,
+                 path: Optional[str] = None, time: Optional[float] = None,
+                 transient: bool = False) -> None:
+        super().__init__(message)
+        self.op = op
+        self.path = path
+        self.time = time
+        self.transient = transient
 
 
 def _parent_dir(path: str) -> str:
@@ -151,6 +166,9 @@ class GPFS:
         self._noise_rng = streams.stream("fs.noise")
         self._storm_rng = streams.stream("fs.storms")
         self._sigma = config.noise_sigma
+        #: Optional :class:`~repro.faults.FaultInjector`; ``None`` keeps
+        #: every operation on the zero-cost fast path.
+        self.injector = None
         # Counters (diagnostics / tests).
         self.creates = 0
         self.opens = 0
@@ -275,9 +293,11 @@ class GPFS:
         files that exist before the job starts.
         """
         if self.exists(path):
-            raise FSError(f"file exists: {path!r}")
+            raise FSError(f"file exists: {path!r}", op="preload", path=path,
+                          time=self.engine.now)
         if payload is not None and len(payload) != nbytes:
-            raise FSError("payload length mismatch")
+            raise FSError("payload length mismatch", op="preload", path=path,
+                          time=self.engine.now)
         fobj = FileObject(path, self._next_file_id, self.engine, self.engine.now)
         self._next_file_id += 1
         fobj.size = nbytes
@@ -301,7 +321,8 @@ class GPFS:
         try:
             return self.files[path]
         except KeyError:
-            raise FSError(f"no such file: {path!r}") from None
+            raise FSError(f"no such file: {path!r}", op="open", path=path,
+                          time=self.engine.now) from None
 
     def stats(self) -> dict:
         """Operation counters (diagnostics)."""
@@ -350,9 +371,12 @@ class FSClient:
         fs = self.fs
         eng = fs.engine
         t0 = eng.now
+        if fs.injector is not None:
+            yield from fs.injector.before_fs_op(self.rank, "create", path)
         if fs.exists(path):
             if exclusive:
-                raise FSError(f"file exists: {path!r}")
+                raise FSError(f"file exists: {path!r}", op="create",
+                              path=path, time=eng.now)
             handle = yield from self.open(path, write=True)
             return handle
         dirname = _parent_dir(path)
@@ -378,6 +402,8 @@ class FSClient:
         """Generator: open an existing file."""
         fs = self.fs
         t0 = fs.engine.now
+        if fs.injector is not None:
+            yield from fs.injector.before_fs_op(self.rank, "open", path)
         fobj = fs.file(path)
         yield fs.engine.timeout(fs.config.meta_open_service * fs.noise())
         fs.opens += 1
@@ -396,8 +422,12 @@ class FSClient:
         """Generator: close a handle (releases writer registration)."""
         fs = self.fs
         t0 = fs.engine.now
+        if fs.injector is not None:
+            yield from fs.injector.before_fs_op(self.rank, "close",
+                                                handle.file.path)
         if handle.closed:
-            raise FSError(f"double close of {handle.file.path!r}")
+            raise FSError(f"double close of {handle.file.path!r}", op="close",
+                          path=handle.file.path, time=fs.engine.now)
         handle.closed = True
         if handle.writable:
             handle.file.writer_clients.discard(self.rank)
@@ -417,12 +447,18 @@ class FSClient:
         fs = self.fs
         eng = fs.engine
         cfg = fs.config
+        if fs.injector is not None:
+            yield from fs.injector.before_fs_op(self.rank, "write",
+                                                handle.file.path)
         if handle.closed or not handle.writable:
-            raise FSError(f"write on closed/read-only handle {handle!r}")
+            raise FSError(f"write on closed/read-only handle {handle!r}",
+                          op="write", path=handle.file.path, time=eng.now)
         if nbytes < 0 or offset < 0:
-            raise FSError(f"bad write range offset={offset} nbytes={nbytes}")
+            raise FSError(f"bad write range offset={offset} nbytes={nbytes}",
+                          op="write", path=handle.file.path, time=eng.now)
         if payload is not None and len(payload) != nbytes:
-            raise FSError(f"payload length {len(payload)} != nbytes {nbytes}")
+            raise FSError(f"payload length {len(payload)} != nbytes {nbytes}",
+                          op="write", path=handle.file.path, time=eng.now)
         t0 = eng.now
         fobj = handle.file
         if nbytes == 0:
@@ -534,10 +570,15 @@ class FSClient:
         fs = self.fs
         eng = fs.engine
         cfg = fs.config
+        if fs.injector is not None:
+            yield from fs.injector.before_fs_op(self.rank, "read",
+                                                handle.file.path)
         if handle.closed:
-            raise FSError(f"read on closed handle {handle!r}")
+            raise FSError(f"read on closed handle {handle!r}", op="read",
+                          path=handle.file.path, time=eng.now)
         if nbytes < 0 or offset < 0:
-            raise FSError(f"bad read range offset={offset} nbytes={nbytes}")
+            raise FSError(f"bad read range offset={offset} nbytes={nbytes}",
+                          op="read", path=handle.file.path, time=eng.now)
         t0 = eng.now
         fobj = handle.file
         if nbytes == 0:

@@ -87,3 +87,104 @@ def test_staging_benchmark_series_bit_identical():
     for ra, rb in zip(a["results"], b["results"]):
         assert np.array_equal(ra.t_complete, rb.t_complete)
         assert np.array_equal(ra.t_blocked_end, rb.t_blocked_end)
+
+
+# -- fault-injection reproducibility ----------------------------------------
+
+def _fs_image(job) -> dict:
+    """Byte-exact snapshot of every file on the simulated PFS."""
+    fs = job.services["fs"]
+    return {
+        path: (f.size, f.read_extents(0, f.size))
+        for path, f in sorted(fs.files.items())
+    }
+
+
+def test_fault_schedule_generation_reproducible():
+    from repro.faults import FaultConfig, FaultSchedule
+    from repro.sim import StreamRegistry
+
+    cfg = FaultConfig(fs_errors=3, fs_stalls=2, writer_crash_prob=0.9,
+                      buffer_loss_prob=0.9, net_degrade_prob=0.9,
+                      horizon=5.0)
+    a = FaultSchedule.generate(StreamRegistry(11), 64, cfg)
+    b = FaultSchedule.generate(StreamRegistry(11), 64, cfg)
+    c = FaultSchedule.generate(StreamRegistry(12), 64, cfg)
+    assert a == b
+    assert a != c
+    assert len(a) >= 5
+
+
+def test_faulted_campaign_bit_reproducible():
+    """Same seed, same schedule: identical reports, logs, and FS bytes."""
+    from repro.ckpt import ReducedBlockingIO
+    from repro.experiments import run_resilient_campaign
+    from repro.faults import FaultSchedule, FaultSpec
+
+    faults = FaultSchedule((
+        FaultSpec(kind="fs_error", time=0.0, op="write", count=2,
+                  transient=True),
+        FaultSpec(kind="rank_crash", time=1.0, rank=0),
+    ))
+
+    def campaign():
+        return run_resilient_campaign(
+            ReducedBlockingIO(workers_per_writer=16), 64, DATA, n_steps=2,
+            faults=faults, gap_seconds=2.0, seed=5,
+        )
+
+    a, b = campaign(), campaign()
+    assert a.fault_report == b.fault_report
+    assert {r: s for r, (s, _f) in a.restored.items()} == \
+           {r: s for r, (s, _f) in b.restored.items()}
+    for ra, rb in zip(a.results, b.results):
+        assert np.array_equal(ra.t_complete, rb.t_complete)
+        assert np.array_equal(ra.t_blocked_end, rb.t_blocked_end)
+    assert _fs_image(a.run.job) == _fs_image(b.run.job)
+
+
+def test_faulted_run_reproducible_under_auto_coalescing():
+    """coalesce='auto' stays bit-identical when a fault schedule rides
+
+    along (a non-empty schedule silently disables the coalescing plan)."""
+    from repro.ckpt import ReducedBlockingIO
+    from repro.experiments import run_checkpoint_steps
+    from repro.faults import FaultSchedule, FaultSpec
+
+    faults = FaultSchedule((
+        FaultSpec(kind="fs_stall", time=0.0, op="create", delay=0.3),
+    ))
+
+    def run(mode):
+        return run_checkpoint_steps(
+            ReducedBlockingIO(workers_per_writer=16), 64, DATA, 2,
+            gap_seconds=1.0, coalesce=mode, faults=faults)
+
+    a, b = run("auto"), run("auto")
+    c = run("off")
+    for x in (b, c):
+        for ra, rx in zip(a.results, x.results):
+            assert np.array_equal(ra.t_complete, rx.t_complete)
+    assert _fs_image(a.job) == _fs_image(c.job)
+
+
+def test_empty_schedule_is_zero_cost():
+    """faults=None and an empty FaultSchedule are bit-identical: the
+
+    injector hooks stay disarmed, so timing and FS bytes cannot move."""
+    from repro.ckpt import CollectiveIO
+    from repro.experiments import run_checkpoint_steps
+    from repro.faults import FaultSchedule
+
+    base = run_checkpoint_steps(CollectiveIO(ranks_per_file=64), N, DATA, 2,
+                                gap_seconds=1.0)
+    empty = run_checkpoint_steps(CollectiveIO(ranks_per_file=64), N, DATA, 2,
+                                 gap_seconds=1.0,
+                                 faults=FaultSchedule(()))
+    for ra, rb in zip(base.results, empty.results):
+        assert np.array_equal(ra.t_complete, rb.t_complete)
+        assert ra.overall_time == rb.overall_time
+    assert _fs_image(base.job) == _fs_image(empty.job)
+    fs = empty.job.services["fs"]
+    assert fs.injector is None
+    assert empty.job.fabric.injector is None
