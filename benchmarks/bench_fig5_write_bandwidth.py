@@ -8,11 +8,13 @@ few GB/s on single-file extent allocation; coIO 64:1 rises then drops at
 
 from _common import PAPER_SCALE, SIZES, bench_record, prefetch, print_series
 
+from repro.buffers import stats as buffer_stats
 from repro.experiments import APPROACHES, APPROACH_LABELS, fig5_write_bandwidth
 
 
 def test_fig5_write_bandwidth(benchmark):
     prefetch((key, n) for key in APPROACHES for n in SIZES)
+    buffer_stats.reset()
     out = benchmark.pedantic(
         lambda: fig5_write_bandwidth(sizes=SIZES), rounds=1, iterations=1
     )
@@ -23,7 +25,7 @@ def test_fig5_write_bandwidth(benchmark):
     print_series("Fig 5: write bandwidth", ["approach"] + [f"np={n}" for n in SIZES], rows)
     bench_record("fig5_write_bandwidth", gbps={
         key: {str(n): out[key][n] for n in SIZES} for key in out
-    })
+    }, bytes_copied=buffer_stats.bytes_copied)
 
     for n in SIZES:
         # rbIO nf=ng beats its nf=1 variant; the two nf=1 variants are

@@ -22,6 +22,8 @@ the study depends on, built from scratch:
 - :mod:`repro.nekcem` — a NekCEM-like SEDG Maxwell solver (GLL bases,
   low-storage RK4, hex meshes, .rea/.map inputs, vtk outputs) with a
   slab-parallel driver on the simulated machine;
+- :mod:`repro.buffers` — zero-copy scatter-gather payload buffers
+  (:class:`~repro.buffers.ByteRope`) with data-plane copy accounting;
 - :mod:`repro.profiling` — Darshan-style I/O instrumentation;
 - :mod:`repro.model` — the paper's analytic models (Eqs. 1-7);
 - :mod:`repro.experiments` — per-figure/table experiment harness.
@@ -36,6 +38,8 @@ Quickstart::
     print(run.result.write_bandwidth / 1e9, "GB/s")
 """
 
+from .buffers import ByteRope, SegmentList
+from .buffers import stats as buffer_stats
 from .ckpt import (
     BurstBufferIO,
     CheckpointData,
@@ -54,6 +58,9 @@ __version__ = "1.1.0"
 
 __all__ = [
     "BurstBufferIO",
+    "ByteRope",
+    "SegmentList",
+    "buffer_stats",
     "CheckpointData",
     "CheckpointResult",
     "CheckpointSchedule",

@@ -1,0 +1,466 @@
+"""Zero-copy scatter-gather buffers: the payload data plane.
+
+The checkpoint pipelines in this repo are data-movement pipelines (worker
+package -> writer aggregation -> two-phase exchange -> GPFS extents), and
+at payload scale the dominant *host* cost used to be Python re-copying the
+same bytes at every hop: ``CheckpointData.concatenated_payload`` joined the
+fields, the rbIO writer reassembled a field-major ``bytearray``, the MPI-IO
+aggregator overlaid another one, every burst sliced a fresh ``bytes``, and
+``FileObject.read_extents`` materialized whole files on read.  Following
+the segment-list idiom of collective-I/O implementations (describe data as
+offset/length views, never flatten mid-pipeline), this module provides an
+immutable rope of ``memoryview`` segments so a checkpoint's bytes are
+copied exactly once — at the final file-system commit boundary.
+
+:class:`ByteRope` (alias :data:`SegmentList`) supports ``slice`` /
+``concat`` / ``split_at`` without touching payload bytes, computes CRC32
+iteratively over its segments, compares content against any bytes-like
+without materializing, and converts to flat ``bytes`` lazily (memoized) via
+:meth:`ByteRope.to_bytes`.
+
+Accounting
+----------
+Every materializing operation records into the module-level :data:`stats`
+(``bytes_copied`` / ``buffer_allocs``), surfaced through
+``Engine.counters()`` and ``DarshanProfiler.summary()`` so the zero-copy
+win is measurable (``benchmarks/bench_dataplane.py``).
+
+:func:`set_copy_mode` switches the module between ``"zerocopy"`` (default)
+and ``"eager"``.  Eager mode materializes at every hop — reproducing the
+pre-rope copy-per-hop behavior byte for byte — which is what the data-plane
+benchmark and the rope-vs-bytes property tests compare against.  Both modes
+produce bit-identical committed file images; only host copies differ.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Iterator, Optional, Union
+
+__all__ = [
+    "ByteRope",
+    "SegmentList",
+    "BufferStats",
+    "stats",
+    "concat",
+    "zeros",
+    "overlay",
+    "as_bytes",
+    "crc32_of",
+    "set_copy_mode",
+    "copy_mode",
+]
+
+BytesLike = Union[bytes, bytearray, memoryview, "ByteRope"]
+
+
+class BufferStats:
+    """Process-wide data-plane copy counters.
+
+    ``bytes_copied`` counts payload bytes physically moved between host
+    buffers; ``buffer_allocs`` counts the fresh buffers those moves filled.
+    Zero-copy operations (slice, concat, split, CRC, equality) never touch
+    either counter.
+    """
+
+    __slots__ = ("bytes_copied", "buffer_allocs")
+
+    def __init__(self) -> None:
+        self.bytes_copied = 0
+        self.buffer_allocs = 0
+
+    def reset(self) -> None:
+        """Zero both counters (benchmark / test isolation)."""
+        self.bytes_copied = 0
+        self.buffer_allocs = 0
+
+    def count_copy(self, nbytes: int, allocs: int = 1) -> None:
+        """Record one materialization of ``nbytes`` into ``allocs`` buffers."""
+        self.bytes_copied += nbytes
+        self.buffer_allocs += allocs
+
+    def snapshot(self) -> dict:
+        """Counter values as a plain dict (for records and summaries)."""
+        return {"bytes_copied": self.bytes_copied,
+                "buffer_allocs": self.buffer_allocs}
+
+
+#: The module-wide counter instance every rope operation reports to.
+stats = BufferStats()
+
+_MODES = ("zerocopy", "eager")
+_mode = "zerocopy"
+
+
+def set_copy_mode(mode: str) -> str:
+    """Select the data-plane copy discipline; returns the previous mode.
+
+    ``"zerocopy"`` (default) moves segment references between hops and
+    copies only at the FS-commit boundary.  ``"eager"`` materializes every
+    slice/concat/zeros into fresh ``bytes`` — the pre-rope behavior — so
+    benchmarks can measure the reduction against a faithful baseline.
+    """
+    global _mode
+    if mode not in _MODES:
+        raise ValueError(f"unknown copy mode {mode!r}; expected one of {_MODES}")
+    prev = _mode
+    _mode = mode
+    return prev
+
+
+def copy_mode() -> str:
+    """The active copy discipline (``"zerocopy"`` or ``"eager"``)."""
+    return _mode
+
+
+#: Shared zero page backing `zeros()` ropes (sparse reads, file headers).
+_ZERO_PAGE_SIZE = 1 << 20
+_ZERO_VIEW = memoryview(bytes(_ZERO_PAGE_SIZE))
+
+
+class ByteRope:
+    """An immutable scatter-gather byte sequence.
+
+    A rope is an ordered tuple of ``memoryview`` segments over caller-owned
+    buffers.  All structural operations (:meth:`slice`, :meth:`concat`,
+    :meth:`split_at`) manipulate segment references only; payload bytes
+    move exactly once, when :meth:`to_bytes` is finally called at a commit
+    boundary (and the flat result is memoized).
+
+    Ropes quack enough like ``bytes`` for the simulator's data plane:
+    ``len``, truthiness, ``rope[int]`` -> int, ``rope[a:b]`` -> rope,
+    ``rope + other`` -> rope, content equality against any bytes-like, and
+    ``bytes(rope)``.  They do *not* expose the buffer protocol — consumers
+    that need real contiguous memory (``np.frombuffer``, vtk encoding)
+    must cross through :func:`as_bytes`, which is the point: those are the
+    copy boundaries, and they are counted.
+    """
+
+    __slots__ = ("_segments", "_starts", "_length", "_flat")
+
+    def __init__(self) -> None:
+        raise TypeError("use ByteRope.wrap(), concat(), or zeros()")
+
+    @classmethod
+    def _new(cls, segments: tuple, starts: list, length: int,
+             flat: Optional[bytes]) -> "ByteRope":
+        rope = object.__new__(cls)
+        rope._segments = segments
+        rope._starts = starts
+        rope._length = length
+        rope._flat = flat
+        return rope
+
+    @classmethod
+    def _flat_rope(cls, data: bytes) -> "ByteRope":
+        """A single-segment rope over freshly materialized ``bytes``."""
+        if not data:
+            return EMPTY
+        return cls._new((memoryview(data),), [0], len(data), data)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def wrap(cls, data: BytesLike) -> "ByteRope":
+        """View ``data`` as a rope without copying.
+
+        ``bytes`` input keeps a reference so a later :meth:`to_bytes` is
+        free; ``bytearray``/``memoryview`` input is viewed in place (the
+        caller must not mutate it afterwards — simulator payloads never
+        are).
+        """
+        if isinstance(data, ByteRope):
+            return data
+        if isinstance(data, bytes):
+            if not data:
+                return EMPTY
+            return cls._new((memoryview(data),), [0], len(data), data)
+        if isinstance(data, (bytearray, memoryview)):
+            mv = memoryview(data)
+            if mv.ndim != 1 or mv.format != "B":
+                mv = mv.cast("B")
+            if not len(mv):
+                return EMPTY
+            return cls._new((mv,), [0], len(mv), None)
+        raise TypeError(f"cannot wrap {type(data).__name__} as a ByteRope")
+
+    @classmethod
+    def concat(cls, parts) -> "ByteRope":
+        """Join bytes-likes/ropes in order; zero-copy segment merge."""
+        ropes = [p if isinstance(p, ByteRope) else cls.wrap(p) for p in parts]
+        ropes = [r for r in ropes if r._length]
+        if not ropes:
+            return EMPTY
+        if len(ropes) == 1:
+            return ropes[0]
+        if _mode == "eager":
+            data = b"".join(s for r in ropes for s in r._segments)
+            stats.count_copy(len(data))
+            return cls._flat_rope(data)
+        segments = []
+        starts = []
+        pos = 0
+        for r in ropes:
+            for seg in r._segments:
+                segments.append(seg)
+                starts.append(pos)
+                pos += len(seg)
+        return cls._new(tuple(segments), starts, pos, None)
+
+    # -- structural ops (no byte movement) ---------------------------------
+    def slice(self, start: int, stop: Optional[int] = None) -> "ByteRope":
+        """The sub-rope ``[start, stop)``; segment views only."""
+        length = self._length
+        if stop is None:
+            stop = length
+        start = max(0, min(int(start), length))
+        stop = max(start, min(int(stop), length))
+        if start == 0 and stop == length:
+            return self
+        n = stop - start
+        if n == 0:
+            return EMPTY
+        if _mode == "eager":
+            data = b"".join(self._iter_range(start, stop))
+            stats.count_copy(n)
+            return ByteRope._flat_rope(data)
+        segments = tuple(self._iter_range(start, stop))
+        starts = []
+        pos = 0
+        for seg in segments:
+            starts.append(pos)
+            pos += len(seg)
+        return ByteRope._new(segments, starts, n, None)
+
+    def split_at(self, offset: int) -> tuple["ByteRope", "ByteRope"]:
+        """``(rope[:offset], rope[offset:])`` without copying."""
+        return self.slice(0, offset), self.slice(offset, self._length)
+
+    def _iter_range(self, start: int, stop: int) -> Iterator[memoryview]:
+        """Segment views covering ``[start, stop)`` (callers clamp bounds)."""
+        starts = self._starts
+        i = bisect_right(starts, start) - 1
+        for k in range(i, len(starts)):
+            seg = self._segments[k]
+            s0 = starts[k]
+            if s0 >= stop:
+                break
+            lo = max(0, start - s0)
+            hi = min(len(seg), stop - s0)
+            yield seg if lo == 0 and hi == len(seg) else seg[lo:hi]
+
+    def iter_segments(self) -> Iterator[memoryview]:
+        """The underlying segment views, in order."""
+        return iter(self._segments)
+
+    @property
+    def n_segments(self) -> int:
+        """Number of underlying segments (scatter-gather degree)."""
+        return len(self._segments)
+
+    # -- content ops -------------------------------------------------------
+    def crc32(self, value: int = 0) -> int:
+        """CRC32 of the content, computed incrementally over segments."""
+        for seg in self._segments:
+            value = zlib.crc32(seg, value)
+        return value & 0xFFFFFFFF
+
+    def to_bytes(self) -> bytes:
+        """Flat ``bytes`` of the content — THE copy boundary (memoized).
+
+        A rope wrapped directly over a ``bytes`` object returns it without
+        copying; anything else joins its segments exactly once and caches
+        the result.
+        """
+        flat = self._flat
+        if flat is None:
+            flat = b"".join(self._segments)
+            stats.count_copy(len(flat))
+            self._flat = flat
+        return flat
+
+    tobytes = to_bytes  # memoryview-style spelling
+
+    # -- dunder plumbing ---------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __bytes__(self) -> bytes:
+        return self.to_bytes()
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self._length)
+            if step != 1:
+                raise ValueError("ByteRope slices must be contiguous (step 1)")
+            return self.slice(start, stop)
+        idx = int(key)
+        if idx < 0:
+            idx += self._length
+        if not 0 <= idx < self._length:
+            raise IndexError("ByteRope index out of range")
+        i = bisect_right(self._starts, idx) - 1
+        return self._segments[i][idx - self._starts[i]]
+
+    def __add__(self, other):
+        if isinstance(other, (bytes, bytearray, memoryview, ByteRope)):
+            return ByteRope.concat((self, other))
+        return NotImplemented
+
+    def __radd__(self, other):
+        if isinstance(other, (bytes, bytearray, memoryview)):
+            return ByteRope.concat((other, self))
+        return NotImplemented
+
+    def __eq__(self, other):
+        if other is self:
+            return True
+        if isinstance(other, ByteRope):
+            if other._length != self._length:
+                return False
+            if (self._flat is not None and other._flat is not None):
+                return self._flat == other._flat
+            return self._content_eq(other._segments)
+        if isinstance(other, (bytes, bytearray, memoryview)):
+            if len(other) != self._length:
+                return False
+            mv = memoryview(other)
+            if mv.ndim != 1 or mv.format != "B":
+                mv = mv.cast("B")
+            pos = 0
+            for seg in self._segments:
+                n = len(seg)
+                if seg != mv[pos : pos + n]:
+                    return False
+                pos += n
+            return True
+        return NotImplemented
+
+    __hash__ = None  # mutable-adjacent semantics: content eq, no hashing
+
+    def _content_eq(self, other_segments: tuple) -> bool:
+        """Segment-aligned content comparison (equal lengths assumed)."""
+        a_iter = iter(self._segments)
+        b_iter = iter(other_segments)
+        a = next(a_iter, None)
+        b = next(b_iter, None)
+        a_pos = b_pos = 0
+        while a is not None and b is not None:
+            n = min(len(a) - a_pos, len(b) - b_pos)
+            if a[a_pos : a_pos + n] != b[b_pos : b_pos + n]:
+                return False
+            a_pos += n
+            b_pos += n
+            if a_pos == len(a):
+                a = next(a_iter, None)
+                a_pos = 0
+            if b is not None and b_pos == len(b):
+                b = next(b_iter, None)
+                b_pos = 0
+        return a is None and b is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ByteRope {self._length} B in {len(self._segments)} "
+                f"segment{'s' if len(self._segments) != 1 else ''}"
+                f"{' (flat)' if self._flat is not None else ''}>")
+
+
+#: ISSUE/API alias: a rope *is* the segment list.
+SegmentList = ByteRope
+
+#: The canonical empty rope (shared; every empty result is this object).
+EMPTY = ByteRope._new((), [], 0, b"")
+ByteRope.EMPTY = EMPTY
+
+
+def concat(parts) -> ByteRope:
+    """Module-level spelling of :meth:`ByteRope.concat`."""
+    return ByteRope.concat(parts)
+
+
+def zeros(n: int) -> ByteRope:
+    """A rope of ``n`` zero bytes backed by one shared page (no allocation).
+
+    Sparse-file reads and master headers are all zeros; in zero-copy mode
+    they reference the module's zero page, in eager mode they allocate (and
+    count) real buffers like the pre-rope code did.
+    """
+    if n <= 0:
+        return EMPTY
+    if _mode == "eager":
+        stats.count_copy(n)
+        return ByteRope._flat_rope(bytes(n))
+    full, rem = divmod(n, _ZERO_PAGE_SIZE)
+    segments = [_ZERO_VIEW] * full
+    if rem:
+        segments.append(_ZERO_VIEW[:rem])
+    starts = [i * _ZERO_PAGE_SIZE for i in range(len(segments))]
+    return ByteRope._new(tuple(segments), starts, n, None)
+
+
+def overlay(pieces, lo: int, hi: int) -> ByteRope:
+    """Compose ``(offset, data)`` pieces over ``[lo, hi)``, later wins.
+
+    Gaps come back as zeros (sparse-file semantics).  Pieces are applied in
+    iteration order, so a later piece shadows an earlier one wherever they
+    overlap — exactly the write-order semantics of extent lists and of the
+    aggregator's domain reassembly.  The result references the pieces'
+    segments; nothing is copied.
+    """
+    span = hi - lo
+    if span <= 0:
+        return EMPTY
+    clipped = []  # (start, end, rope, piece_offset), application order
+    for off, data in pieces:
+        rope = data if isinstance(data, ByteRope) else ByteRope.wrap(data)
+        s = max(lo, off)
+        e = min(hi, off + rope._length)
+        if s < e:
+            clipped.append((s, e, rope, off))
+    if not clipped:
+        return zeros(span)
+    first_s, first_e, first_rope, first_off = clipped[0]
+    if len(clipped) == 1 and first_s == lo and first_e == hi:
+        return first_rope.slice(lo - first_off, hi - first_off)
+    bounds = {lo, hi}
+    for s, e, _rope, _off in clipped:
+        bounds.add(s)
+        bounds.add(e)
+    edges = sorted(bounds)
+    parts = []
+    for a, b in zip(edges, edges[1:]):
+        chosen = None
+        for s, e, rope, off in reversed(clipped):
+            if s <= a and b <= e:
+                chosen = rope.slice(a - off, b - off)
+                break
+        parts.append(chosen if chosen is not None else zeros(b - a))
+    return ByteRope.concat(parts)
+
+
+def as_bytes(data) -> Optional[bytes]:
+    """Flat ``bytes`` of any bytes-like — the explicit copy boundary.
+
+    ``bytes`` passes through untouched, ropes materialize via
+    :meth:`ByteRope.to_bytes` (memoized, counted), other buffer types copy
+    (counted).  ``None`` passes through for size-only payloads.
+    """
+    if data is None or isinstance(data, bytes):
+        return data
+    if isinstance(data, ByteRope):
+        return data.to_bytes()
+    if isinstance(data, (bytearray, memoryview)):
+        out = bytes(data)
+        stats.count_copy(len(out))
+        return out
+    raise TypeError(f"cannot materialize {type(data).__name__} as bytes")
+
+
+def crc32_of(data, value: int = 0) -> int:
+    """CRC32 of any bytes-like, segment-iterative for ropes (no copy)."""
+    if isinstance(data, ByteRope):
+        return data.crc32(value)
+    return zlib.crc32(data, value) & 0xFFFFFFFF

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..buffers import zeros
 from ..faults import UnrecoverableCheckpointError
 from ..mpi import RankContext
 from ..mpiio import Hints, MPIFile
@@ -122,15 +123,17 @@ class CollectiveIO(CheckpointStrategy):
         # Master header: contributed by the group's rank 0 in a collective
         # call of its own (everyone else contributes an empty region).
         if data.header_bytes:
-            hdr = b"\x00" * data.header_bytes if data.has_payload else None
+            hdr = zeros(data.header_bytes) if data.has_payload else None
             if comm.rank == 0:
                 yield from f.write_at_all(0, data.header_bytes, payload=hdr)
             else:
                 yield from f.write_at_all(0, 0)
         # One collective write per field section (file sorted by fields).
+        # Fields contribute zero-copy views; the two-phase exchange slices
+        # and ships segment references, never the bytes themselves.
         for i, fld in enumerate(data.fields):
             offset = layout.block_offset(i, comm.rank)
-            yield from f.write_at_all(offset, fld.nbytes, payload=fld.payload)
+            yield from f.write_at_all(offset, fld.nbytes, payload=fld.view)
         yield from f.close()
         t_end = eng.now
         return self._report(ctx, "collective", t0, t_end, t_end, data.total_bytes)

@@ -12,16 +12,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..buffers import ByteRope, BytesLike
+
 __all__ = ["Field", "CheckpointData"]
 
 
 @dataclass(frozen=True)
 class Field:
-    """One named data block in a rank's checkpoint contribution."""
+    """One named data block in a rank's checkpoint contribution.
+
+    ``payload`` accepts any bytes-like (including a :class:`ByteRope`);
+    the data plane moves it as segment references, never copying until the
+    file-system commit boundary.
+    """
 
     name: str
     nbytes: int
-    payload: Optional[bytes] = None
+    payload: Optional[BytesLike] = None
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:
@@ -31,6 +38,13 @@ class Field:
                 f"field {self.name!r}: payload length {len(self.payload)} "
                 f"!= nbytes {self.nbytes}"
             )
+
+    @property
+    def view(self) -> Optional[ByteRope]:
+        """The payload as a zero-copy rope (``None`` when size-only)."""
+        if self.payload is None:
+            return None
+        return ByteRope.wrap(self.payload)
 
 
 class CheckpointData:
@@ -55,6 +69,9 @@ class CheckpointData:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate field names: {names}")
         self.header_bytes = header_bytes
+        # Memoized concatenation, keyed by the copy mode active when built
+        # (eager/zerocopy runs of the same data must not share a cache).
+        self._payload_rope: Optional[tuple[str, ByteRope]] = None
 
     @property
     def n_fields(self) -> int:
@@ -76,11 +93,24 @@ class CheckpointData:
         """Whether every field carries real bytes."""
         return all(f.payload is not None for f in self.fields)
 
-    def concatenated_payload(self) -> Optional[bytes]:
-        """All field payloads joined in order (None if any is missing)."""
+    def concatenated_payload(self) -> Optional[ByteRope]:
+        """All field payloads joined in order (None if any is missing).
+
+        Returns a zero-copy :class:`~repro.buffers.ByteRope` referencing
+        the fields' own buffers, memoized per instance — rbIO's buffered
+        nf=ng writer path calls this once per flush, and workers package it
+        every checkpoint step.
+        """
         if not self.has_payload:
             return None
-        return b"".join(f.payload for f in self.fields)  # type: ignore[misc]
+        from ..buffers import copy_mode
+        cached = self._payload_rope
+        mode = copy_mode()
+        if cached is not None and cached[0] == mode:
+            return cached[1]
+        rope = ByteRope.concat([f.payload for f in self.fields])
+        self._payload_rope = (mode, rope)
+        return rope
 
     @classmethod
     def synthetic(cls, bytes_per_field: Sequence[int],

@@ -15,6 +15,7 @@ rather than an artificial rank-ordered ramp.
 
 from __future__ import annotations
 
+from ..buffers import ByteRope, zeros
 from ..faults import UnrecoverableCheckpointError
 from ..faults.retry import retry_fs
 from ..mpi import RankContext
@@ -63,7 +64,8 @@ class OneFilePerProcess(CheckpointStrategy):
         total = data.header_bytes + data.total_bytes
         payload = None
         if data.has_payload:
-            payload = b"\x00" * data.header_bytes + data.concatenated_payload()
+            payload = ByteRope.concat(
+                [zeros(data.header_bytes), data.concatenated_payload()])
         yield from retry_fs(
             eng, lambda: ctx.fs.write(handle, 0, total, payload=payload))
         yield from ctx.fs.close(handle)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..buffers import ByteRope, zeros
 from ..faults import UnrecoverableCheckpointError
 from ..mpi import RankContext
 from ..mpiio import Hints, MPIFile
@@ -446,19 +447,36 @@ class ReducedBlockingIO(CheckpointStrategy):
     @staticmethod
     def _field_major_image(layout: FileLayout,
                            member_sizes: list[tuple[int, ...]],
-                           member_payloads: list[Optional[bytes]]
-                           ) -> Optional[bytes]:
-        """Assemble the file image (header zeros + field-major data)."""
+                           member_payloads: list
+                           ) -> Optional[ByteRope]:
+        """Assemble the file image (header zeros + field-major data).
+
+        The member-major -> field-major reorder is a pure *gather of
+        segment references*: the returned rope lists header zeros followed
+        by each field section's member blocks as views into the members'
+        own packages (which tile ``[header, total)`` exactly — the layout
+        has no padding).  No payload byte is copied here; the simulated
+        memory pass in :meth:`_gather_group` models the reorder cost.
+        """
         if any(p is None for p in member_payloads):
             return None
-        buf = bytearray(layout.total_size)
-        for m, (sizes, payload) in enumerate(zip(member_sizes, member_payloads)):
-            pos = 0
-            for f, sz in enumerate(sizes):
-                off = layout.block_offset(f, m)
-                buf[off : off + sz] = payload[pos : pos + sz]
-                pos += sz
-        return bytes(buf)
+        ropes = [ByteRope.wrap(p) for p in member_payloads]
+        # Per-member prefix offset of each field block within its package.
+        prefixes = []
+        for sizes in member_sizes:
+            run = 0
+            pre = []
+            for sz in sizes:
+                pre.append(run)
+                run += sz
+            prefixes.append(pre)
+        parts = [zeros(layout.header_bytes)] if layout.header_bytes else []
+        n_fields = len(member_sizes[0])
+        for f in range(n_fields):
+            for m, rope in enumerate(ropes):
+                lo = prefixes[m][f]
+                parts.append(rope.slice(lo, lo + member_sizes[m][f]))
+        return ByteRope.concat(parts)
 
     def _commit_private(self, ctx: RankContext, layout: FileLayout,
                         image: Optional[bytes], step: int, basedir: str,
@@ -499,7 +517,7 @@ class ReducedBlockingIO(CheckpointStrategy):
         )
         first_member = wcomm.rank * len(member_sizes)
         if header_bytes:
-            hdr = (b"\x00" * header_bytes
+            hdr = (zeros(header_bytes)
                    if all(p is not None for p in member_payloads) else None)
             if wcomm.rank == 0:
                 yield from f.write_at_all(0, header_bytes, payload=hdr)
@@ -507,6 +525,8 @@ class ReducedBlockingIO(CheckpointStrategy):
                 yield from f.write_at_all(0, 0)
         n_fields = len(member_sizes[0])
         have_payload = all(p is not None for p in member_payloads)
+        member_ropes = ([ByteRope.wrap(p) for p in member_payloads]
+                        if have_payload else None)
         # Per-field prefix offsets into each member's package.
         prefixes = [[0] * len(member_sizes) for _ in range(n_fields + 1)]
         for m, sizes in enumerate(member_sizes):
@@ -519,12 +539,13 @@ class ReducedBlockingIO(CheckpointStrategy):
             offset = global_layout.block_offset(fidx, first_member)
             nbytes = sum(s[fidx] for s in member_sizes)
             chunk = None
-            if have_payload:
+            if member_ropes is not None:
+                # Gather the members' field blocks as segment references.
                 parts = []
-                for m, payload in enumerate(member_payloads):
+                for m, rope in enumerate(member_ropes):
                     lo = prefixes[fidx][m]
-                    parts.append(payload[lo : lo + member_sizes[m][fidx]])
-                chunk = b"".join(parts)
+                    parts.append(rope.slice(lo, lo + member_sizes[m][fidx]))
+                chunk = ByteRope.concat(parts)
             yield from f.write_at_all(offset, nbytes, payload=chunk)
         yield from f.close()
 

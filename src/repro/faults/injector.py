@@ -218,9 +218,13 @@ class FaultInjector:
 
         With payload bytes present, flip one byte so the checksum check
         does the detecting; in size-only mode just set the modeled flag.
+        The image may be a zero-copy rope sharing segments with worker
+        packages and replicas — it is materialized into a private buffer
+        before the flip so the damage never leaks into shared segments.
         """
         if pkg.image:
-            buf = bytearray(pkg.image)
+            from ..buffers import as_bytes
+            buf = bytearray(as_bytes(pkg.image))
             buf[len(buf) // 2] ^= 0xFF
             pkg.image = bytes(buf)
         pkg.corrupt = True

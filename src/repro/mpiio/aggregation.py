@@ -6,6 +6,11 @@ domain* per aggregator (aligned to file-system blocks on Blue Gene), data is
 shuffled so each aggregator holds exactly its domain, and aggregators commit
 to the file system.  This module implements the geometry; the data movement
 lives in :class:`repro.mpiio.file.MPIFile`.
+
+Everything here is *descriptors* — (offset, length) regions and domain
+boundaries, never payload bytes.  The exchange ships region descriptors
+plus zero-copy segment views (:mod:`repro.buffers`), which is exactly the
+segment-list discipline that makes collective I/O fast in the first place.
 """
 
 from __future__ import annotations

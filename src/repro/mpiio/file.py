@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..buffers import ByteRope, overlay
 from ..faults.retry import retry_fs
 from ..mpi import CommView, RankContext
 from ..sim import Process
@@ -162,11 +163,20 @@ class MPIFile:
 
     def _two_phase(self, seq: int, offset: int, nbytes: int,
                    payload: Optional[bytes]):
-        """The two-phase collective write, executed per rank."""
+        """The two-phase collective write, executed per rank.
+
+        Payloads travel as zero-copy ropes end to end: phase 1 slices each
+        rank's contribution into per-domain segment views and ships the
+        *references* (region descriptors + views, never reassembled bytes);
+        phase 2 overlays the received views into the aggregator's domain
+        rope and commits it in bursts.
+        """
         comm = self.comm
         cfg = self.fs.fs.config
         hints = self.hints
         tag = _SHUFFLE_TAG_BASE + seq
+        if payload is not None:
+            payload = ByteRope.wrap(payload)
 
         # Phase 0: exchange access regions (one shared RegionMap built).
         regions: RegionMap = yield from comm.allgather(
@@ -231,20 +241,23 @@ class MPIFile:
 
     def _commit_domain(self, dlo: int, dhi: int,
                        pieces: list[tuple[int, int, Optional[bytes]]]):
-        """Aggregator side: write the covered part of the domain in bursts."""
+        """Aggregator side: write the covered part of the domain in bursts.
+
+        The received segment views are overlaid (offset-sorted, later
+        shadows earlier — identical to the old ``bytearray`` assembly
+        order) into one domain rope; no reassembly copy happens, the rope
+        materializes at the file system's extent commit.
+        """
         if not pieces:
             return
         pieces.sort(key=lambda p: p[0])
         lo = pieces[0][0]
         hi = max(p[1] for p in pieces)
         have_payload = any(p[2] is not None for p in pieces)
-        data: Optional[bytes] = None
+        data: Optional[ByteRope] = None
         if have_payload:
-            buf = bytearray(hi - lo)
-            for plo, phi, part in pieces:
-                if part is not None:
-                    buf[plo - lo : plo - lo + len(part)] = part
-            data = bytes(buf)
+            data = overlay(((plo, part) for plo, _phi, part in pieces
+                            if part is not None), lo, hi)
         # Commit in collective-buffer-sized bursts.
         cb = self.hints.cb_buffer_size
         eng = self.fs.fs.engine

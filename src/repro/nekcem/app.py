@@ -84,14 +84,21 @@ def fields_to_checkpoint_data(solver: MaxwellSolver, state: list[np.ndarray],
 
 
 def checkpoint_data_to_fields(solver: MaxwellSolver,
-                              payloads: list[bytes],
+                              payloads: list,
                               template: CheckpointData) -> list[np.ndarray]:
-    """Rebuild the six solver component arrays from restored payloads."""
+    """Rebuild the six solver component arrays from restored payloads.
+
+    Restored payloads arrive as zero-copy ropes over the PFS extents; this
+    is the reader boundary where they materialize into contiguous memory
+    for ``np.frombuffer`` (see :func:`repro.buffers.as_bytes`).
+    """
+    from ..buffers import as_bytes
+
     shape = (*solver.mesh.shape, solver.p, solver.p, solver.p)
     by_name = {f.name: p for f, p in zip(template.fields, payloads)}
     out = []
     for name in MaxwellSolver.COMPONENTS:
-        buf = by_name[name]
+        buf = as_bytes(by_name[name])
         out.append(np.frombuffer(buf, dtype=np.float64).reshape(shape).copy())
     return out
 

@@ -104,6 +104,12 @@ class Fabric:
 
         Returns an event triggering when the last byte has arrived.
         Same-node transfers cost a memory copy instead of network time.
+
+        Only *sizes* move through the fabric model; message payloads ride
+        the :class:`~repro.mpi.core.Message` as zero-copy segment
+        references (ropes), so a transfer never copies host bytes — the
+        copy cost above is simulated time, accounted separately from the
+        data plane's ``bytes_copied`` counter.
         """
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")

@@ -171,7 +171,14 @@ class DarshanProfiler:
         return out
 
     def summary(self) -> dict[str, float]:
-        """One-line job summary (total ops, bytes, busiest rank)."""
+        """One-line job summary (total ops, bytes, busiest rank).
+
+        Includes the process-wide data-plane copy counters
+        (:data:`repro.buffers.stats`) so a profile shows host copy volume
+        next to the I/O it produced.
+        """
+        from ..buffers import stats as buffer_stats
+
         writes = self.select(["write"])
         per_rank = self.per_rank_io_time()
         return {
@@ -180,4 +187,6 @@ class DarshanProfiler:
             "bytes_written": float(sum(r.nbytes for r in writes)),
             "max_rank_io_time": max(per_rank.values()) if per_rank else 0.0,
             "mean_rank_io_time": float(np.mean(list(per_rank.values()))) if per_rank else 0.0,
+            "bytes_copied": float(buffer_stats.bytes_copied),
+            "buffer_allocs": float(buffer_stats.buffer_allocs),
         }

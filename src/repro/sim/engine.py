@@ -399,12 +399,23 @@ class Engine:
         return self._event_count / self._wall_seconds
 
     def counters(self) -> dict:
-        """Machine-readable performance counters for benchmark records."""
+        """Machine-readable performance counters for benchmark records.
+
+        ``bytes_copied`` / ``buffer_allocs`` are the process-wide data-plane
+        copy counters (:data:`repro.buffers.stats`): how many payload bytes
+        were physically materialized, and into how many buffers, since the
+        last ``stats.reset()`` — they ride along so benchmark records can
+        report copy volume next to event throughput.
+        """
+        from ..buffers import stats as buffer_stats
+
         return {
             "events_processed": self._event_count,
             "wall_seconds": self._wall_seconds,
             "events_per_second": self.events_per_second,
             "virtual_time": self.now,
+            "bytes_copied": buffer_stats.bytes_copied,
+            "buffer_allocs": buffer_stats.buffer_allocs,
         }
 
     def step(self) -> None:

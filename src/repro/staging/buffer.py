@@ -18,6 +18,11 @@ the same :class:`~repro.sim.Pipe` primitives as the rest of the machine:
 Capacity accounting is by *bytes reserved*, not bytes resident: a package
 occupies its reservation from admission until the drain (or an eviction)
 calls :meth:`free`.
+
+Device ``read``/``write`` model *time* only; the staged payload itself is
+a :class:`~repro.buffers.ByteRope` held by the resident
+:class:`~repro.staging.drain.StagedPackage`, sharing the worker packages'
+segments — staging a checkpoint copies no host bytes.
 """
 
 from __future__ import annotations

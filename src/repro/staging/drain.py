@@ -20,9 +20,9 @@ drain-activity timeline.
 
 from __future__ import annotations
 
-import zlib
 from typing import Any, Callable, Optional
 
+from ..buffers import crc32_of
 from ..sim import Engine, Event, IntervalRecorder, Store
 from .buffer import BurstBuffer, StagingConfig, StagingError
 
@@ -34,11 +34,14 @@ class StagedPackage:
 
     ``nbytes`` is the full file-image size (header + field-major data), the
     amount reserved in the buffer and later written to the PFS.  ``image``
-    carries real bytes at payload scale and is ``None`` in size-only runs.
-    ``layout`` (a :class:`~repro.ckpt.FileLayout`) lets the restore path
-    slice any member's blocks straight out of the image.
+    carries real data at payload scale — a zero-copy
+    :class:`~repro.buffers.ByteRope` sharing the worker packages' segments
+    — and is ``None`` in size-only runs.  ``layout`` (a
+    :class:`~repro.ckpt.FileLayout`) lets the restore path slice any
+    member's blocks straight out of the image.
 
-    A CRC of the image is taken at staging time; :meth:`verify` re-checks
+    A CRC of the image is taken at staging time, computed incrementally
+    over the rope's segments (no materialization); :meth:`verify` re-checks
     it before any consumer (drain, restore) trusts the resident bytes.  In
     size-only runs corruption is modelled by the ``corrupt`` flag alone.
     """
@@ -48,7 +51,7 @@ class StagedPackage:
 
     def __init__(self, engine: Engine, step: int, group: int, path: str,
                  nbytes: int, layout: Any = None,
-                 image: Optional[bytes] = None) -> None:
+                 image: Optional[Any] = None) -> None:
         if nbytes < 0:
             raise ValueError(f"negative package size: {nbytes}")
         self.step = step
@@ -62,7 +65,7 @@ class StagedPackage:
         self.drained: Event = Event(engine)
         #: CRC32 of ``image`` at staging time (``None`` in size-only runs).
         self.checksum: Optional[int] = (
-            zlib.crc32(image) if image is not None else None
+            crc32_of(image) if image is not None else None
         )
         #: Set by fault injection (bit-rot, device loss).
         self.corrupt = False
@@ -72,7 +75,7 @@ class StagedPackage:
         if self.corrupt:
             return False
         if self.image is not None and self.checksum is not None:
-            return zlib.crc32(self.image) == self.checksum
+            return crc32_of(self.image) == self.checksum
         return True
 
     @property

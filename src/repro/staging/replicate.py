@@ -80,6 +80,9 @@ class PartnerReplicator:
         yield from partner.reserve(pkg.nbytes)
         yield self.fabric.transfer(src_rank, partner_rank, pkg.nbytes)
         yield partner.write(pkg.nbytes)
+        # The replica *shares* the source package's image rope — the copy
+        # is simulated (network + device time above); no host bytes move,
+        # and the replica's CRC is recomputed over the shared segments.
         replica = StagedPackage(self.engine, pkg.step, pkg.group, pkg.path,
                                 pkg.nbytes, layout=pkg.layout, image=pkg.image)
         partner.replicas[pkg.group] = replica

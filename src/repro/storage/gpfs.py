@@ -49,6 +49,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from ..buffers import ByteRope, as_bytes, overlay
 from ..sim import Engine, Pipe, Resource, StreamRegistry
 from ..topology import MachineConfig, PsetMap
 
@@ -106,20 +107,17 @@ class FileObject:
         self.extents: list[tuple[int, bytes]] = []
         self.created_at = created_at
 
-    def read_extents(self, offset: int, nbytes: int) -> bytes:
-        """Assemble stored payload bytes for ``[offset, offset+nbytes)``.
+    def read_extents(self, offset: int, nbytes: int) -> ByteRope:
+        """Stored payload for ``[offset, offset+nbytes)`` as a zero-copy rope.
 
-        Bytes never written come back as zeros (sparse-file semantics).
+        The rope references the extent buffers in place; a later extent
+        shadows an earlier one where they overlap (write order wins), and
+        bytes never written come back as zeros (sparse-file semantics).
+        Consumers needing contiguous memory cross through
+        :func:`repro.buffers.as_bytes` — that is the read-side copy
+        boundary.
         """
-        out = bytearray(nbytes)
-        end = offset + nbytes
-        for ext_off, data in self.extents:
-            ext_end = ext_off + len(data)
-            lo = max(offset, ext_off)
-            hi = min(end, ext_end)
-            if lo < hi:
-                out[lo - offset : hi - offset] = data[lo - ext_off : hi - ext_off]
-        return bytes(out)
+        return overlay(self.extents, offset, offset + nbytes)
 
 
 class FileHandle:
@@ -305,7 +303,7 @@ class GPFS:
         if nbytes:
             fobj.allocated_blocks.update(range((nbytes - 1) // bs + 1))
         if payload is not None:
-            fobj.extents.append((0, bytes(payload)))
+            fobj.extents.append((0, as_bytes(payload)))
         self.files[path] = fobj
         dirname = _parent_dir(path)
         self._dir_entries[dirname] = self._dir_entries.get(dirname, 0) + 1
@@ -436,8 +434,12 @@ class FSClient:
 
     # -- data operations -------------------------------------------------------
     def write(self, handle: FileHandle, offset: int, nbytes: int,
-              payload: Optional[bytes] = None):
+              payload: Optional[Any] = None):
         """Generator: write ``nbytes`` at ``offset`` through this handle.
+
+        ``payload`` accepts any bytes-like, including a zero-copy
+        :class:`~repro.buffers.ByteRope`; it is materialized once, here,
+        when the extent is committed.
 
         Sequencing: extent allocation (serialized on shared files) -> lock
         token acquisition/revocation (+ possible congestion storm on shared
@@ -557,15 +559,20 @@ class FSClient:
         if offset + nbytes > fobj.size:
             fobj.size = offset + nbytes
         if payload is not None:
-            fobj.extents.append((offset, bytes(payload)))
+            # THE data-plane copy boundary: payload views/ropes rode the
+            # whole pipeline by reference and materialize exactly here,
+            # where the file system commits a durable byte image.
+            fobj.extents.append((offset, as_bytes(payload)))
         fs.writes += 1
         self._record("write", t0, nbytes, fobj.path)
 
     def read(self, handle: FileHandle, offset: int, nbytes: int):
-        """Generator: read ``nbytes`` at ``offset``; returns stored bytes.
+        """Generator: read ``nbytes`` at ``offset``; returns stored data.
 
-        The time model mirrors the write data path (no allocation/locking —
-        read tokens are shared).
+        Payload-carrying files come back as a zero-copy
+        :class:`~repro.buffers.ByteRope` over the stored extents (see
+        :meth:`FileObject.read_extents`).  The time model mirrors the write
+        data path (no allocation/locking — read tokens are shared).
         """
         fs = self.fs
         eng = fs.engine

@@ -49,8 +49,9 @@ def smoke_bench_env(monkeypatch):
 
 
 def test_bench_modules_discovered():
-    assert len(BENCH_MODULES) >= 15
+    assert len(BENCH_MODULES) >= 16
     assert "bench_ext_staging" in BENCH_MODULES
+    assert "bench_dataplane" in BENCH_MODULES
 
 
 @pytest.mark.parametrize("module_name", BENCH_MODULES)
