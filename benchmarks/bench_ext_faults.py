@@ -18,20 +18,27 @@ sweep): fault counts are per-campaign, so scaling np only dilutes them.
 
 from _common import SMOKE, bench_np, bench_record, cached_point, print_series
 
-from repro.ckpt import ReducedBlockingIO
-from repro.experiments import (
-    resilience_sweep,
-    run_checkpoint_steps,
-    run_resilient_campaign,
-    scaled_problem,
+from repro.campaign.shim import (
+    failover_campaign,
+    failover_metrics,
+    faults_sweep_campaign,
+    rate_rows,
 )
-from repro.faults import FaultSchedule, FaultSpec
+from repro.ckpt import ReducedBlockingIO
+from repro.experiments import run_checkpoint_steps, scaled_problem
 
 NP = bench_np(4096, 1024)
 N_STEPS = 2
 GAP = 2.0
 RATES = (0.0, 2.0, 6.0) if SMOKE else (0.0, 2.0, 6.0, 12.0)
 WPW = 64
+
+#: Both studies as declarative campaigns; the shim executors reproduce the
+#: legacy resilience_sweep / run_resilient_campaign values bit for bit.
+SWEEP_CAMPAIGN = faults_sweep_campaign(
+    "ext_faults_sweep", NP, RATES, N_STEPS, GAP, horizon=GAP * N_STEPS)
+FAILOVER_CAMPAIGN = failover_campaign(
+    "ext_faults_failover", NP, N_STEPS, GAP)
 
 #: Cumulative metrics; each test re-records so BENCH_ext_faults.json holds
 #: everything the module produced so far.
@@ -45,10 +52,7 @@ def _data(n):
 def test_fault_rate_overhead_sweep(benchmark):
     """Overhead grows with the injected fault rate; zero rate costs zero."""
     def run():
-        strat = ReducedBlockingIO(workers_per_writer=WPW)
-        rows = resilience_sweep(strat, NP, _data(NP), RATES,
-                                n_steps=N_STEPS, gap_seconds=GAP,
-                                horizon=GAP * N_STEPS)
+        rows = rate_rows(SWEEP_CAMPAIGN)
         baseline = run_checkpoint_steps(
             ReducedBlockingIO(workers_per_writer=WPW), NP, _data(NP),
             N_STEPS, gap_seconds=GAP, coalesce="off",
@@ -87,22 +91,9 @@ def test_fault_rate_overhead_sweep(benchmark):
 def test_writer_failover_campaign(benchmark):
     """Losing a writer neither hangs the campaign nor corrupts the restart."""
     crash_rank = 0  # first dedicated writer
-    faults = FaultSchedule((
-        FaultSpec(kind="rank_crash", time=1.0, rank=crash_rank),
-    ))
 
     def run():
-        campaign = run_resilient_campaign(
-            ReducedBlockingIO(workers_per_writer=WPW), NP, _data(NP),
-            n_steps=N_STEPS, faults=faults, gap_seconds=GAP,
-        )
-        report = campaign.fault_report
-        return {
-            "restored_step": campaign.restored_step,
-            "failovers": report["by_kind"].get("writer_failover", 0),
-            "overall_time": campaign.results[-1].overall_time,
-            "crashed_roles": campaign.results[-1].roles.count("crashed"),
-        }
+        return failover_metrics(FAILOVER_CAMPAIGN)
 
     out = benchmark.pedantic(
         lambda: cached_point("faults_failover", run, NP, N_STEPS, GAP),

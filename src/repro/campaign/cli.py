@@ -1,0 +1,165 @@
+"""``repro-campaign``: run, expand, serve, and submit campaign specs.
+
+Subcommands::
+
+    repro-campaign expand SPEC            # show the deterministic expansion
+    repro-campaign run SPEC [-w N]        # run locally, print JSON results
+    repro-campaign serve [--port P]       # start the HTTP sweep service
+    repro-campaign submit SPEC --url URL  # submit over HTTP, poll, print
+    repro-campaign status --url URL [ID]  # service counters / campaign status
+
+Also reachable as ``repro-report campaign ...``.  Spec files are JSON
+(always available) or YAML (with the optional ``pyyaml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from .compiler import expand, run_point
+from .spec import CampaignSpec, SpecError
+
+__all__ = ["main"]
+
+
+def _load_spec(path: str) -> CampaignSpec:
+    try:
+        return CampaignSpec.from_file(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such spec file: {path}")
+    except SpecError as exc:
+        raise SystemExit(f"error: invalid campaign spec: {exc}")
+
+
+def _cmd_expand(args) -> int:
+    spec = _load_spec(args.spec)
+    expanded = expand(spec)
+    print(f"campaign {spec.name} ({spec.campaign_id[:12]}): "
+          f"{len(expanded.points)} points")
+    for p in expanded.points:
+        rate = "" if p.fault_rate is None else f" rate={p.fault_rate:g}"
+        resume = " +resume" if p.resume else ""
+        print(f"  {p.approach:>12} np={p.n_ranks:<6} steps={p.n_steps}"
+              f"{rate}{resume}  {p.content_hash[:12]}")
+    for s in expanded.skipped:
+        print(f"  skipped {s.approach} np={s.n_ranks}: {s.reason}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from ..experiments.parallel import run_sweep
+
+    spec = _load_spec(args.spec)
+    expanded = expand(spec)
+    results = run_sweep(run_point, expanded.points, n_workers=args.workers)
+    json.dump({"campaign_id": spec.campaign_id, "name": spec.name,
+               "results": results}, sys.stdout, indent=2, default=str)
+    print()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .http import serve_forever
+    from .service import SweepService
+
+    service = SweepService(n_workers=args.workers,
+                           cache=args.cache if args.cache else None)
+    serve_forever(service, host=args.host, port=args.port)
+    return 0
+
+
+def _http_json(url: str, payload: dict | None = None) -> dict | list:
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            message = json.loads(exc.read()).get("error", str(exc))
+        except Exception:
+            message = str(exc)
+        raise SystemExit(f"error: {url}: {message}")
+    except urllib.error.URLError as exc:
+        raise SystemExit(f"error: cannot reach {url}: {exc.reason}")
+
+
+def _cmd_submit(args) -> int:
+    spec = _load_spec(args.spec)
+    base = args.url.rstrip("/")
+    status = _http_json(f"{base}/campaigns", {"spec": spec.to_dict()})
+    campaign_id = status["campaign_id"]
+    print(f"submitted {spec.name} as {campaign_id[:12]} "
+          f"({status['total']} points)", file=sys.stderr)
+    while status["state"] == "running":
+        time.sleep(args.poll)
+        status = _http_json(f"{base}/campaigns/{campaign_id}")
+        print(f"  {status['completed']}/{status['total']} done",
+              file=sys.stderr)
+    payload = _http_json(f"{base}/campaigns/{campaign_id}/"
+                         f"{'results' if args.results else 'summary'}")
+    json.dump(payload, sys.stdout, indent=2, default=str)
+    print()
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_status(args) -> int:
+    base = args.url.rstrip("/")
+    url = f"{base}/campaigns/{args.id}" if args.id else f"{base}/status"
+    json.dump(_http_json(url), sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Declarative sweep campaigns: expand, run, serve, submit.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("expand", help="show a spec's deterministic expansion")
+    p.add_argument("spec", help="campaign spec file (.json/.yaml)")
+    p.set_defaults(fn=_cmd_expand)
+
+    p = sub.add_parser("run", help="expand and run a spec locally")
+    p.add_argument("spec", help="campaign spec file (.json/.yaml)")
+    p.add_argument("-w", "--workers", type=int, default=None,
+                   help="worker processes (default: REPRO_BENCH_PARALLEL)")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("serve", help="start the HTTP sweep service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("-w", "--workers", type=int, default=None)
+    p.add_argument("--cache", default="",
+                   help="result cache dir (default: REPRO_BENCH_CACHE)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a spec to a running service")
+    p.add_argument("spec", help="campaign spec file (.json/.yaml)")
+    p.add_argument("--url", default="http://127.0.0.1:8642")
+    p.add_argument("--poll", type=float, default=1.0,
+                   help="poll interval in seconds")
+    p.add_argument("--results", action="store_true",
+                   help="print full per-point results, not the summary")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("status", help="query a running service")
+    p.add_argument("id", nargs="?", default="",
+                   help="campaign id (default: service counters)")
+    p.add_argument("--url", default="http://127.0.0.1:8642")
+    p.set_defaults(fn=_cmd_status)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

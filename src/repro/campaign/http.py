@@ -1,0 +1,146 @@
+"""Stdlib HTTP JSON API over the sweep service.
+
+Endpoints (all JSON)::
+
+    POST /campaigns            {"spec": {...}}        -> submit, returns id
+    GET  /campaigns                                   -> list of statuses
+    GET  /campaigns/<id>                              -> status
+    GET  /campaigns/<id>/summary                      -> status + headline rows
+    GET  /campaigns/<id>/results                      -> full per-point dicts
+    GET  /status                                      -> service counters
+
+Built on :class:`http.server.ThreadingHTTPServer` — no dependencies, good
+enough for many concurrent polling clients (the service itself serializes
+on its own lock; the worker pool does the heavy lifting).  Invalid specs
+come back as ``400`` with the :class:`~repro.campaign.spec.SpecError`
+message; unknown campaign ids as ``404``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .service import SweepService
+from .spec import SpecError
+
+__all__ = ["make_server", "start_server", "serve_forever"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`SweepService`."""
+
+    server_version = "repro-campaign/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self) -> SweepService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, code: int, payload: dict | list) -> None:
+        body = json.dumps(payload, default=str).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send(code, {"error": message})
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        try:
+            if parts == ["status"]:
+                self._send(200, self.service.service_status())
+            elif parts == ["campaigns"]:
+                self._send(200, self.service.list_campaigns())
+            elif len(parts) == 2 and parts[0] == "campaigns":
+                self._send(200, self.service.status(parts[1]))
+            elif (len(parts) == 3 and parts[0] == "campaigns"
+                  and parts[2] == "summary"):
+                self._send(200, self.service.summary(parts[1]))
+            elif (len(parts) == 3 and parts[0] == "campaigns"
+                  and parts[2] == "results"):
+                self._send(200, self.service.results(parts[1]))
+            else:
+                self._error(404, f"no such endpoint: {self.path}")
+        except KeyError as exc:
+            self._error(404, str(exc.args[0]) if exc.args else "not found")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.rstrip("/") != "/campaigns":
+            self._error(404, f"no such endpoint: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"bad JSON body: {exc}")
+            return
+        spec = body.get("spec", body) if isinstance(body, dict) else None
+        if not isinstance(spec, dict):
+            self._error(400, "body must be a JSON object "
+                             "(optionally wrapped as {\"spec\": {...}})")
+            return
+        try:
+            campaign_id = self.service.submit(spec)
+        except SpecError as exc:
+            self._error(400, str(exc))
+            return
+        self._send(200, self.service.status(campaign_id))
+
+
+def make_server(service: SweepService, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server bound to ``host:port``.
+
+    ``port=0`` picks a free port; read it back from
+    ``server.server_address``.
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def start_server(service: SweepService, host: str = "127.0.0.1",
+                 port: int = 0) -> tuple[ThreadingHTTPServer, threading.Thread]:
+    """Start the API on a background thread; returns ``(server, thread)``.
+
+    Tests and embedders use this; ``server.shutdown()`` stops it.
+    """
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def serve_forever(service: SweepService, host: str = "127.0.0.1",
+                  port: int = 8642, verbose: bool = True,
+                  ready: Optional[threading.Event] = None) -> None:
+    """Run the API in the foreground until interrupted (the CLI path)."""
+    server = make_server(service, host, port, verbose=verbose)
+    actual = server.server_address
+    print(f"repro-campaign service on http://{actual[0]}:{actual[1]} "
+          f"({service.n_workers} workers)")
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.shutdown()

@@ -1,0 +1,268 @@
+"""The sharded sweep service: one supervisor, many worker processes.
+
+:class:`SweepService` is the long-lived core behind the HTTP API and the
+``repro-campaign`` CLI.  A submitted campaign is expanded
+(:func:`~repro.campaign.compiler.expand`) and its points are sharded
+across a shared :class:`~concurrent.futures.ProcessPoolExecutor`.  Three
+layers keep redundant work off the pool:
+
+1. **campaign dedup** — submitting a spec whose ``campaign_id`` is
+   already registered returns the existing campaign (one execution no
+   matter how many concurrent clients submit it);
+2. **in-flight point dedup** — two different campaigns that expand to a
+   point with the same content hash share one future while it runs;
+3. **result cache** — every finished point streams into the (bounded)
+   :class:`~repro.experiments.parallel.DiskCache`, so later campaigns
+   start from warm hits.
+
+All public methods are thread-safe; the HTTP layer calls them from
+request-handler threads.  :attr:`SweepService.counters` exposes exactly
+how many points actually executed vs. were deduped or served from cache
+— the observability hook the dedup tests (and CI smoke) assert on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, wait as futures_wait
+from typing import Optional, Union
+
+from ..experiments.parallel import DiskCache, default_workers, sweep_cache
+from .compiler import ExpandedCampaign, expand, run_point
+from .spec import CampaignSpec
+
+__all__ = ["SweepService", "CampaignStatus"]
+
+
+class CampaignStatus:
+    """Mutable bookkeeping for one registered campaign."""
+
+    def __init__(self, campaign_id: str, expanded: ExpandedCampaign) -> None:
+        self.campaign_id = campaign_id
+        self.expanded = expanded
+        self.results: list[Optional[dict]] = [None] * len(expanded.points)
+        self.errors: dict[int, str] = {}
+        self.futures: list[Optional[Future]] = [None] * len(expanded.points)
+        self.submissions = 1  # how many clients asked for this campaign
+
+    @property
+    def total(self) -> int:
+        return len(self.expanded.points)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results if r is not None) + len(self.errors)
+
+    @property
+    def state(self) -> str:
+        if self.errors:
+            return "failed"
+        return "done" if self.completed == self.total else "running"
+
+    def status_dict(self) -> dict:
+        """JSON-clean progress snapshot."""
+        out = {
+            "campaign_id": self.campaign_id,
+            "name": self.expanded.spec.name,
+            "state": self.state,
+            "total": self.total,
+            "completed": self.completed,
+            "submissions": self.submissions,
+            "skipped": [
+                {"approach": s.approach, "np": s.n_ranks, "reason": s.reason}
+                for s in self.expanded.skipped
+            ],
+        }
+        if self.errors:
+            out["errors"] = dict(sorted(self.errors.items()))
+        return out
+
+    def summary_dict(self) -> dict:
+        """Per-point headline metrics (``None`` for unfinished points)."""
+        points = []
+        for point, result in zip(self.expanded.points, self.results):
+            row = {
+                "approach": point.approach,
+                "np": point.n_ranks,
+                "fault_rate": point.fault_rate,
+                "hash": point.content_hash,
+            }
+            if result is not None:
+                row.update({k: result.get(k) for k in
+                            ("overall_time", "blocking_time", "gbps")})
+            points.append(row)
+        return {**self.status_dict(), "points": points}
+
+
+class SweepService:
+    """Shards campaign points across worker processes; dedupes everything.
+
+    ``n_workers`` defaults to the ``REPRO_BENCH_PARALLEL`` convention of
+    :func:`~repro.experiments.parallel.default_workers`.  ``cache``
+    accepts a :class:`DiskCache`, a directory path, ``None`` to adopt the
+    environment's ``REPRO_BENCH_CACHE`` cache, or ``False`` to disable
+    caching outright.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None,
+                 cache: Union[DiskCache, str, None, bool] = None) -> None:
+        workers = default_workers() if n_workers is None else max(1, n_workers)
+        self._pool = ProcessPoolExecutor(max_workers=workers)
+        self.n_workers = workers
+        if cache is False:
+            self.cache: Optional[DiskCache] = None
+        elif isinstance(cache, DiskCache):
+            self.cache = cache
+        elif isinstance(cache, str):
+            self.cache = DiskCache(cache)
+        else:
+            self.cache = sweep_cache()
+        # Reentrant: add_done_callback runs synchronously (in the caller,
+        # under this lock) when the future is already finished.
+        self._lock = threading.RLock()
+        self._campaigns: dict[str, CampaignStatus] = {}
+        self._inflight: dict[str, Future] = {}
+        self.counters = {
+            "campaigns_submitted": 0,
+            "campaigns_deduped": 0,
+            "points_executed": 0,
+            "points_deduped": 0,
+            "points_cached": 0,
+        }
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: Union[CampaignSpec, dict]) -> str:
+        """Register a campaign and start executing it; returns its id.
+
+        Identical concurrent submissions collapse onto the already
+        running campaign (the ``campaigns_deduped`` counter ticks and
+        ``submissions`` on the campaign increments).
+        """
+        if not isinstance(spec, CampaignSpec):
+            spec = CampaignSpec.from_dict(spec)
+        campaign_id = spec.campaign_id
+        with self._lock:
+            self.counters["campaigns_submitted"] += 1
+            existing = self._campaigns.get(campaign_id)
+            if existing is not None:
+                existing.submissions += 1
+                self.counters["campaigns_deduped"] += 1
+                return campaign_id
+            status = CampaignStatus(campaign_id, expand(spec))
+            self._campaigns[campaign_id] = status
+            for index, point in enumerate(status.expanded.points):
+                self._schedule(status, index, point)
+        return campaign_id
+
+    def _schedule(self, status: CampaignStatus, index: int, point) -> None:
+        """Resolve one point: cache hit, shared in-flight future, or pool.
+
+        Caller holds ``self._lock``.
+        """
+        key = point.content_hash
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                status.results[index] = hit
+                self.counters["points_cached"] += 1
+                return
+        future = self._inflight.get(key)
+        if future is not None:
+            self.counters["points_deduped"] += 1
+        else:
+            future = self._pool.submit(run_point, point)
+            self._inflight[key] = future
+            self.counters["points_executed"] += 1
+            future.add_done_callback(
+                lambda f, key=key: self._retire(key, f))
+        status.futures[index] = future
+        future.add_done_callback(
+            lambda f, status=status, index=index: self._record(
+                status, index, f))
+
+    def _retire(self, key: str, future: Future) -> None:
+        """Drop a finished future from the in-flight table; cache success."""
+        with self._lock:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+        if self.cache is not None and future.exception() is None:
+            self.cache.put(key, future.result())
+
+    def _record(self, status: CampaignStatus, index: int,
+                future: Future) -> None:
+        exc = future.exception()
+        with self._lock:
+            if exc is not None:
+                status.errors[index] = f"{type(exc).__name__}: {exc}"
+            else:
+                status.results[index] = future.result()
+
+    # -- inspection --------------------------------------------------------
+
+    def _get(self, campaign_id: str) -> CampaignStatus:
+        status = self._campaigns.get(campaign_id)
+        if status is None:
+            raise KeyError(f"unknown campaign {campaign_id!r}")
+        return status
+
+    def status(self, campaign_id: str) -> dict:
+        """Progress snapshot for one campaign (raises ``KeyError``)."""
+        with self._lock:
+            return self._get(campaign_id).status_dict()
+
+    def summary(self, campaign_id: str) -> dict:
+        """Status plus per-point headline metrics."""
+        with self._lock:
+            return self._get(campaign_id).summary_dict()
+
+    def results(self, campaign_id: str) -> list[Optional[dict]]:
+        """Full per-point result dicts, in expansion order."""
+        with self._lock:
+            return list(self._get(campaign_id).results)
+
+    def list_campaigns(self) -> list[dict]:
+        """Status snapshots of every registered campaign."""
+        with self._lock:
+            return [c.status_dict() for c in self._campaigns.values()]
+
+    def service_status(self) -> dict:
+        """Service-level counters and load (the HTTP ``/status`` payload)."""
+        with self._lock:
+            return {
+                "n_workers": self.n_workers,
+                "campaigns": len(self._campaigns),
+                "inflight_points": len(self._inflight),
+                "counters": dict(self.counters),
+            }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def wait(self, campaign_id: str,
+             timeout: Optional[float] = None) -> dict:
+        """Block until a campaign settles; return its final status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            futures = [f for f in self._get(campaign_id).futures
+                       if f is not None]
+        futures_wait(futures, timeout=timeout)
+        while True:
+            # Done-callbacks record results *after* waiters wake; spin
+            # until the bookkeeping catches up (or the deadline passes).
+            status = self.status(campaign_id)
+            if status["state"] != "running":
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                return status
+            time.sleep(0.01)
+
+    def shutdown(self) -> None:
+        """Stop the worker pool (finishes in-flight points first)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SweepService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

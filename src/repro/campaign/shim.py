@@ -1,0 +1,145 @@
+"""Migration shim: the legacy bench sweeps as one campaign spec each.
+
+The bench modules used to hand-roll their grids (loops over approaches,
+``prefetch_runs`` calls, per-point ``resilience_sweep`` invocations).
+This module gives each of them a single declarative
+:class:`~repro.campaign.spec.CampaignSpec` plus thin executors that are
+**byte-compatible** with the legacy paths:
+
+- :func:`prefetch_campaign` warms the exact caches the ``figN_*``
+  functions read (via :func:`~repro.experiments.prefetch_runs`, the same
+  worker function and cache keys as before), but derives the point list
+  from the campaign expansion — including its feasibility skips;
+- :func:`rate_rows` reproduces :func:`~repro.experiments.resilience_sweep`
+  rows (same schedules, same ``overhead`` normalization) from a
+  fault-rate campaign;
+- :func:`failover_metrics` reproduces the writer-failover campaign dict.
+
+``BENCH_*.json`` artifacts produced through the shim are identical to
+the pre-campaign ones; the equivalence tests in
+``tests/test_campaign_spec.py`` pin that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..experiments.figures import prefetch_runs
+from ..experiments.parallel import run_sweep
+from .compiler import ExpandedCampaign, expand, run_point
+from .spec import CampaignSpec
+
+__all__ = [
+    "figure_campaign",
+    "faults_sweep_campaign",
+    "failover_campaign",
+    "prefetch_campaign",
+    "run_campaign",
+    "rate_rows",
+    "failover_metrics",
+]
+
+
+def figure_campaign(name: str, approaches: Iterable[str],
+                    sizes: Iterable[int],
+                    seed: Optional[int] = None) -> CampaignSpec:
+    """The figure-bench shape: one checkpoint step per (approach, np)."""
+    d: dict = {
+        "name": name,
+        "grid": {"approaches": list(approaches), "np": list(sizes)},
+    }
+    if seed is not None:
+        d["seed"] = seed
+    return CampaignSpec.from_dict(d)
+
+
+def faults_sweep_campaign(name: str, n_ranks: int, rates: Iterable[float],
+                          n_steps: int, gap: float,
+                          horizon: float) -> CampaignSpec:
+    """The fault-rate overhead sweep as a campaign (rbIO, np:ng = 64:1)."""
+    return CampaignSpec.from_dict({
+        "name": name,
+        "grid": {"approaches": ["rbio_ng"], "np": [n_ranks],
+                 "fault_rates": list(rates)},
+        "steps": {"n_steps": n_steps, "gap": gap},
+        "faults": {"generate": {"horizon": horizon}},
+    })
+
+
+def failover_campaign(name: str, n_ranks: int, n_steps: int, gap: float,
+                      crash_rank: int = 0,
+                      crash_time: float = 1.0) -> CampaignSpec:
+    """The writer-failover study: crash one writer, restart resiliently."""
+    return CampaignSpec.from_dict({
+        "name": name,
+        "grid": {"approaches": ["rbio_ng"], "np": [n_ranks]},
+        "steps": {"n_steps": n_steps, "gap": gap},
+        "faults": {"specs": [
+            {"kind": "rank_crash", "time": crash_time, "rank": crash_rank},
+        ]},
+        "resume": {"enabled": True},
+    })
+
+
+def prefetch_campaign(spec: CampaignSpec,
+                      n_workers: Optional[int] = None) -> ExpandedCampaign:
+    """Warm the figure caches for a campaign's figure-shaped points.
+
+    Uses :func:`~repro.experiments.prefetch_runs` — the identical worker
+    function, memory cache, and disk keys as the legacy benches — so the
+    ``figN_*`` calls that follow see exactly the hits they used to.  The
+    expansion (with its feasibility skips) is returned so callers can
+    inspect what the campaign actually covers.
+    """
+    expanded = expand(spec)
+    figure_points = [(p.approach, p.n_ranks) for p in expanded.points
+                     if p.is_figure_point]
+    if figure_points:
+        config = spec.machine.config()
+        prefetch_runs(figure_points, config=config, seed=spec.seed,
+                      n_workers=n_workers)
+    return expanded
+
+
+def run_campaign(spec: CampaignSpec,
+                 n_workers: Optional[int] = None) -> list[dict]:
+    """Expand and execute a campaign locally; results in expansion order."""
+    expanded = expand(spec)
+    return run_sweep(run_point, expanded.points, n_workers=n_workers)
+
+
+def rate_rows(spec: CampaignSpec,
+              n_workers: Optional[int] = None) -> list[dict]:
+    """Fault-rate campaign results in ``resilience_sweep`` row format.
+
+    Same keys (``rate``/``scheduled``/``injected``/``overall_time``/
+    ``blocking_time``/``write_bandwidth``/``overhead``), same values bit
+    for bit: the compiler replicates the sweep's schedule derivation and
+    run invocation exactly.
+    """
+    rows = []
+    for result in run_campaign(spec, n_workers=n_workers):
+        rows.append({
+            "rate": float(result["fault_rate"]),
+            "scheduled": result["scheduled"],
+            "injected": result["injected"],
+            "overall_time": result["overall_time"],
+            "blocking_time": result["blocking_time"],
+            "write_bandwidth": result["write_bandwidth"],
+        })
+    base = rows[0]["overall_time"] if rows else 0.0
+    for row in rows:
+        row["overhead"] = (row["overall_time"] / base) if base > 0 else 1.0
+    return rows
+
+
+def failover_metrics(spec: CampaignSpec,
+                     n_workers: Optional[int] = None) -> dict:
+    """Single-point failover campaign -> the legacy bench metrics dict."""
+    (result,) = run_campaign(spec, n_workers=n_workers)
+    return {
+        "restored_step": result["restored_step"],
+        "failovers": result["failovers"],
+        "overall_time": result["overall_time"],
+        "crashed_roles": result["crashed_roles"],
+    }

@@ -25,7 +25,13 @@ from .layout import FileLayout
 from .onefileper import OneFilePerProcess
 from .rbio import ReducedBlockingIO
 from .result import CheckpointResult, RankReport
-from .schedule import CheckpointSchedule, checkpoint_ratio, production_improvement
+from .schedule import (
+    CheckpointRule,
+    CheckpointSchedule,
+    checkpoint_instants,
+    checkpoint_ratio,
+    production_improvement,
+)
 
 __all__ = [
     "BurstBufferIO",
@@ -38,8 +44,10 @@ __all__ = [
     "ReducedBlockingIO",
     "CheckpointResult",
     "RankReport",
+    "CheckpointRule",
     "CheckpointSchedule",
     "UnrecoverableCheckpointError",
+    "checkpoint_instants",
     "checkpoint_ratio",
     "production_improvement",
 ]

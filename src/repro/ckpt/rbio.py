@@ -140,7 +140,7 @@ class ReducedBlockingIO(CheckpointStrategy):
 
     def coalesced_worker_main(self, ctx: RankContext, members, data:
                               CheckpointData, steps, basedir: str,
-                              gap_seconds: float, barrier_each_step: bool):
+                              gaps, barrier_each_step: bool):
         """Generator: replay every worker of one group from its representative.
 
         Mirrors ``runner._rank_main`` + :meth:`_worker` member by member:
@@ -158,8 +158,8 @@ class ReducedBlockingIO(CheckpointStrategy):
         gviews = None
         reports: dict[int, list] = {m: [] for m in members}
         for i, step in enumerate(steps):
-            if i and gap_seconds > 0:
-                yield eng.timeout(gap_seconds)
+            if gaps[i] > 0:
+                yield eng.timeout(gaps[i])
             if i == 0 or barrier_each_step:
                 yield from comm.barrier_members(members)
             if gviews is None:

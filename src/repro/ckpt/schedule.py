@@ -19,11 +19,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable, Optional
 
 __all__ = [
     "checkpoint_ratio",
     "production_improvement",
     "CheckpointSchedule",
+    "CheckpointRule",
+    "checkpoint_instants",
 ]
 
 
@@ -45,6 +48,83 @@ def production_improvement(t_ckpt_old: float, t_ckpt_new: float,
     r_old = checkpoint_ratio(t_ckpt_old, t_computation_step)
     r_new = checkpoint_ratio(t_ckpt_new, t_computation_step)
     return (r_old + nc) / (r_new + nc)
+
+
+@dataclass(frozen=True)
+class CheckpointRule:
+    """One declarative checkpoint rule (yMMSL/muscle3-style).
+
+    A rule either fires periodically (``every`` time units, from ``start``
+    up to and including ``stop``) or at explicit instants (``at``).  Units
+    are whatever axis the rule is attached to — simulated seconds for
+    wall-clock rules, solver steps for step rules; the campaign compiler
+    scales step rules by the per-step compute time.
+    """
+
+    every: Optional[float] = None
+    at: tuple[float, ...] = ()
+    start: float = 0.0
+    stop: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at", tuple(float(t) for t in self.at))
+        if (self.every is None) == (not self.at):
+            raise ValueError(
+                "a checkpoint rule needs exactly one of 'every' or 'at'")
+        if self.every is not None and self.every <= 0:
+            raise ValueError(f"'every' must be positive, got {self.every}")
+        if any(t < 0 for t in self.at):
+            raise ValueError(f"'at' instants must be non-negative: {self.at}")
+        if self.start < 0:
+            raise ValueError(f"'start' must be non-negative, got {self.start}")
+        if self.stop is not None and self.stop < self.start:
+            raise ValueError(
+                f"'stop' ({self.stop}) must be >= 'start' ({self.start})")
+
+    def instants(self, horizon: float) -> list[float]:
+        """The rule's firing instants within ``[0, horizon]``, sorted.
+
+        Periodic rules fire at ``start, start+every, ...`` up to
+        ``min(stop, horizon)``; explicit rules fire at each ``at`` instant
+        that falls inside the horizon (and ``stop``, if given).
+        """
+        if horizon < 0:
+            raise ValueError(f"negative horizon: {horizon}")
+        end = horizon if self.stop is None else min(self.stop, horizon)
+        if self.at:
+            return sorted(t for t in self.at if self.start <= t <= end)
+        out = []
+        k = 0
+        # Multiply rather than accumulate so long schedules don't drift.
+        while (t := self.start + k * self.every) <= end + 1e-12:
+            out.append(t)
+            k += 1
+        return out
+
+
+def checkpoint_instants(rules: Iterable[CheckpointRule], horizon: float,
+                        at_end: bool = False, scale: float = 1.0
+                        ) -> tuple[float, ...]:
+    """Merge rules into one sorted, deduplicated instant sequence.
+
+    ``scale`` converts rule units into seconds (e.g. seconds-per-step for
+    solver-step rules; the horizon stays in seconds).  ``at_end`` appends a
+    final checkpoint at the horizon itself.  Instants closer together than
+    1 µs collapse into one checkpoint.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    instants: list[float] = []
+    for rule in rules:
+        instants.extend(t * scale for t in rule.instants(horizon / scale))
+    if at_end:
+        instants.append(float(horizon))
+    instants.sort()
+    merged: list[float] = []
+    for t in instants:
+        if not merged or t - merged[-1] > 1e-6:
+            merged.append(t)
+    return tuple(merged)
 
 
 @dataclass(frozen=True)

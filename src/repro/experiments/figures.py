@@ -48,6 +48,8 @@ __all__ = [
     "get_run",
     "prefetch_runs",
     "clear_cache",
+    "strategy_for",
+    "problem_for",
     "fig5_write_bandwidth",
     "fig6_overall_time",
     "fig7_checkpoint_ratio",
@@ -120,6 +122,23 @@ def _strategy_for(key: str, n_ranks: int):
         nf = int(key[7:])
         return ReducedBlockingIO(workers_per_writer=max(2, n_ranks // nf))
     raise ValueError(f"unknown approach key {key!r}")
+
+
+def strategy_for(key: str, n_ranks: int):
+    """Build the checkpoint strategy an approach key names (public hook).
+
+    Accepts the five figure configurations, ``bbio``, and the Fig. 8
+    ``rbio_nfNNN`` sweep keys; raises ``ValueError`` for anything else.
+    The campaign compiler (:mod:`repro.campaign`) validates and expands
+    specs through this same mapping so campaign runs are point-for-point
+    identical to the figure sweeps.
+    """
+    return _strategy_for(key, n_ranks)
+
+
+def problem_for(n_ranks: int):
+    """The paper problem for a paper count, weak-scaled otherwise (hook)."""
+    return _problem(n_ranks)
 
 
 def _compute_summary(point: tuple) -> RunSummary:

@@ -19,12 +19,21 @@ plumbing:
     default ``.repro-cache/`` under the current directory.  Anything
     else: used as the cache directory path.
 
+``REPRO_BENCH_CACHE_MAX``
+    Cache size bound in bytes (suffixes ``K``/``M``/``G`` accepted, e.g.
+    ``512M``).  Unset/empty: unbounded.  When a write pushes the cache
+    past the bound, least-recently-used entries are evicted (reads touch
+    entry mtimes) until it fits again.
+
 Cache keys hash every input that determines a run's output — approach
 key, rank count, seed, the full :class:`~repro.topology.MachineConfig`
 repr — plus :data:`CACHE_VERSION`, which must be bumped whenever timing
 semantics change anywhere in the simulator (engine, fabric, storage,
 strategies).  Entries are pickles, written atomically (tmp + rename) so
-concurrent sweep workers can share one cache directory.
+concurrent sweep workers — including the campaign sweep service's shard
+processes — can share one cache directory; eviction is serialized
+through an ``O_EXCL`` lock file so at most one process compacts at a
+time, and every reader treats a concurrently-evicted entry as a miss.
 """
 
 from __future__ import annotations
@@ -33,14 +42,16 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 __all__ = [
     "CACHE_VERSION",
     "DiskCache",
     "cache_key",
+    "parse_size",
     "point_seed",
     "sweep_cache",
     "default_workers",
@@ -76,10 +87,28 @@ def point_seed(base_seed: Optional[int], *fields: Any) -> Optional[int]:
 
 
 class DiskCache:
-    """Pickle-per-entry cache directory; safe for concurrent writers."""
+    """Pickle-per-entry cache directory; safe for concurrent writers.
 
-    def __init__(self, root: str) -> None:
+    With ``max_bytes`` set the cache is bounded: after each write, if the
+    directory exceeds the bound, least-recently-used entries (by mtime;
+    reads touch their entry) are unlinked until it fits.  Eviction runs
+    under an ``O_EXCL`` lock file so concurrent writer processes never
+    compact simultaneously; losers simply skip — the next write retries.
+    Readers racing an eviction observe a clean miss and recompute.
+    """
+
+    #: A crashed evictor must not wedge the cache: locks older than this
+    #: many seconds are broken by the next evictor.
+    _LOCK_STALE_SECONDS = 60.0
+    #: Orphaned ``*.tmp`` files (a writer killed mid-dump) older than this
+    #: are swept during eviction.
+    _TMP_STALE_SECONDS = 300.0
+
+    def __init__(self, root: str, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.root.mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: str) -> Path:
@@ -90,7 +119,7 @@ class DiskCache:
         path = self._path(key)
         try:
             with path.open("rb") as f:
-                return pickle.load(f)
+                value = pickle.load(f)
         except FileNotFoundError:
             return None
         except Exception:
@@ -100,6 +129,12 @@ class DiskCache:
             except OSError:
                 pass
             return None
+        if self.max_bytes is not None:
+            try:
+                os.utime(path)  # LRU touch; entry may be evicted mid-read
+            except OSError:
+                pass
+        return value
 
     def put(self, key: str, value: Any) -> None:
         """Store atomically: a reader sees the old entry or the new one."""
@@ -115,6 +150,99 @@ class DiskCache:
             except OSError:
                 pass
             raise
+        self._maybe_evict()
+
+    def size_bytes(self) -> int:
+        """Total bytes of all current entries (racy but monotonic enough)."""
+        total = 0
+        for path in self.root.glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _maybe_evict(self) -> None:
+        if self.max_bytes is None:
+            return
+        lock = self.root / ".evict.lock"
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Another process is evicting.  Break the lock only if its
+            # holder looks dead (mtime far in the past), else skip.
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                return
+            if age < self._LOCK_STALE_SECONDS:
+                return
+            try:
+                lock.unlink()
+            except OSError:
+                return
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except OSError:
+                return
+        try:
+            os.close(fd)
+            self._evict_lru()
+        finally:
+            try:
+                lock.unlink()
+            except OSError:
+                pass
+
+    def _evict_lru(self) -> None:
+        """Unlink oldest entries until the cache fits ``max_bytes`` again."""
+        now = time.time()
+        entries = []
+        for path in self.root.iterdir():
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # lost a race with another writer/evictor
+            if path.suffix == ".tmp":
+                if now - st.st_mtime > self._TMP_STALE_SECONDS:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                continue
+            if path.suffix == ".pkl":
+                entries.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _t, size, _p in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest mtime first
+        # Never evict the newest entry: the value just written must be
+        # readable even when it alone exceeds the bound.
+        for _mtime, size, path in entries[:-1]:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+
+
+def parse_size(spec: str) -> int:
+    """Parse a byte count with an optional ``K``/``M``/``G`` suffix."""
+    text = spec.strip().upper()
+    scale = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}.get(text[-1:] or "", 1)
+    if scale != 1:
+        text = text[:-1]
+    try:
+        value = int(float(text) * scale)
+    except ValueError:
+        raise ValueError(
+            f"bad size {spec!r}: expected bytes with optional K/M/G suffix"
+        ) from None
+    if value < 1:
+        raise ValueError(f"size must be positive, got {spec!r}")
+    return value
 
 
 def sweep_cache() -> Optional[DiskCache]:
@@ -122,7 +250,10 @@ def sweep_cache() -> Optional[DiskCache]:
     spec = os.environ.get("REPRO_BENCH_CACHE", "")
     if spec in ("", "0"):
         return None
-    return DiskCache(".repro-cache" if spec == "1" else spec)
+    max_spec = os.environ.get("REPRO_BENCH_CACHE_MAX", "")
+    max_bytes = parse_size(max_spec) if max_spec else None
+    return DiskCache(".repro-cache" if spec == "1" else spec,
+                     max_bytes=max_bytes)
 
 
 def default_workers() -> int:

@@ -8,7 +8,7 @@ coordinated checkpoint steps with a given strategy, and return
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import Callable, Optional, Sequence, Union
 
 from ..ckpt import CheckpointData, CheckpointResult, CheckpointStrategy
 from ..ckpt.result import RankReport
@@ -18,9 +18,37 @@ from ..profiling import DarshanProfiler
 from ..storage import attach_storage
 from ..topology import MachineConfig, intrepid
 
-__all__ = ["CheckpointRun", "run_checkpoint_step", "run_checkpoint_steps"]
+__all__ = ["CheckpointRun", "normalize_gaps", "run_checkpoint_step",
+           "run_checkpoint_steps"]
 
 DataBuilder = Union[CheckpointData, Callable[[int], CheckpointData]]
+
+#: Computation gaps between checkpoint steps: one uniform value, or one
+#: value per inter-step interval (``n_steps - 1`` of them).
+GapSpec = Union[float, Sequence[float]]
+
+
+def normalize_gaps(gap_seconds: GapSpec, n_steps: int) -> tuple[float, ...]:
+    """Per-step pre-gap tuple of length ``n_steps`` (first entry always 0).
+
+    A scalar means the classic uniform spacing; a sequence gives the gap
+    before each step after the first (campaign checkpoint rules compile to
+    these).  Entry ``i`` is the computation time a rank spends before
+    entering step ``i``.
+    """
+    if isinstance(gap_seconds, (int, float)):
+        gap = float(gap_seconds)
+        if gap < 0:
+            raise ValueError(f"negative gap_seconds: {gap}")
+        return (0.0,) + (gap,) * (n_steps - 1)
+    gaps = tuple(float(g) for g in gap_seconds)
+    if len(gaps) != n_steps - 1:
+        raise ValueError(
+            f"need {n_steps - 1} inter-step gaps for {n_steps} steps, "
+            f"got {len(gaps)}")
+    if any(g < 0 for g in gaps):
+        raise ValueError(f"negative inter-step gap in {gaps}")
+    return (0.0,) + gaps
 
 
 class CheckpointRun:
@@ -50,7 +78,7 @@ def _data_fn(data: DataBuilder) -> Callable[[int], CheckpointData]:
 
 
 def _rank_main(ctx, strategy: CheckpointStrategy, data_fn, steps: list[int],
-               basedir: str, gap_seconds: float, barrier_each_step: bool,
+               basedir: str, gaps: tuple[float, ...], barrier_each_step: bool,
                writer_set: frozenset):
     data = data_fn(ctx.rank)
     # Dedicated I/O ranks (rbIO writers) do not compute between
@@ -63,9 +91,9 @@ def _rank_main(ctx, strategy: CheckpointStrategy, data_fn, steps: list[int],
     reports = []
     for i, step in enumerate(steps):
         dead = crash_t is not None and ctx.engine.now >= crash_t
-        if i and gap_seconds > 0 and not is_writer and not dead:
+        if gaps[i] > 0 and not is_writer and not dead:
             # Computation between checkpoints (nc * Tcomp).
-            yield ctx.engine.timeout(gap_seconds)
+            yield ctx.engine.timeout(gaps[i])
         if i == 0 or barrier_each_step:
             # Coordinated checkpoint start.  Without per-step barriers
             # ranks iterate at their own pace (the solver's nearest-
@@ -92,10 +120,10 @@ def _rank_main(ctx, strategy: CheckpointStrategy, data_fn, steps: list[int],
 
 
 def _rep_main(ctx, worker_main, members, data, steps: list[int], basedir: str,
-              gap_seconds: float, barrier_each_step: bool):
+              gaps: tuple[float, ...], barrier_each_step: bool):
     """Representative rank: replay a whole symmetric group from one process."""
     return (yield from worker_main(ctx, members, data, steps, basedir,
-                                   gap_seconds, barrier_each_step))
+                                   gaps, barrier_each_step))
 
 
 def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
@@ -104,7 +132,7 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
                          seed: Optional[int] = None,
                          basedir: str = "/ckpt",
                          fs_type: str = "gpfs",
-                         gap_seconds: float = 0.0,
+                         gap_seconds: GapSpec = 0.0,
                          barrier_each_step: bool = True,
                          coalesce: str = "auto",
                          faults: Optional[FaultSchedule] = None) -> CheckpointRun:
@@ -114,7 +142,10 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
     (restart files double as visualization dumps).  ``fs_type`` selects the
     storage variant ("gpfs" default, "lustre"/"pvfs" for the comparison
     studies); ``gap_seconds`` inserts computation time between checkpoints
-    (nc * Tcomp), during which rbIO writers drain their backlog.
+    (nc * Tcomp), during which rbIO writers drain their backlog.  It is a
+    scalar (uniform spacing) or a sequence of ``n_steps - 1`` per-interval
+    gaps — the form campaign checkpoint rules (every/at in sim or wall
+    time) compile down to.
 
     ``coalesce`` controls symmetry-aware rank coalescing (see
     :mod:`repro.sim.coalesce`): ``"auto"`` (default) accepts the strategy's
@@ -143,8 +174,9 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
     for ctx in job.contexts:
         ctx.profiler = profiler
     steps = list(range(n_steps))
+    gaps = normalize_gaps(gap_seconds, n_steps)
     writer_set = frozenset()
-    if gap_seconds > 0 and hasattr(strategy, "writer_ranks"):
+    if any(g > 0 for g in gaps) and hasattr(strategy, "writer_ranks"):
         writer_set = frozenset(strategy.writer_ranks(n_ranks))
     plan = None
     if coalesce != "off" and isinstance(data, CheckpointData) and not faults:
@@ -159,7 +191,7 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
         )
     if plan is None:
         job.spawn(_rank_main, strategy, _data_fn(data), steps, basedir,
-                  gap_seconds, barrier_each_step, writer_set)
+                  gaps, barrier_each_step, writer_set)
     else:
         # Spawn in world-rank order (reps in their group's first-worker
         # slot) so process bootstrap — and with it every same-time event
@@ -172,11 +204,11 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
                 continue
             if r in rep_members:
                 job.spawn(_rep_main, plan.worker_main, rep_members[r], data,
-                          steps, basedir, gap_seconds, barrier_each_step,
+                          steps, basedir, gaps, barrier_each_step,
                           ranks=[r])
             else:
                 job.spawn(_rank_main, strategy, data_fn, steps, basedir,
-                          gap_seconds, barrier_each_step, writer_set,
+                          gaps, barrier_each_step, writer_set,
                           ranks=[r])
     per_rank = job.run()
     if plan is not None:

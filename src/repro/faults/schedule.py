@@ -31,8 +31,8 @@ kind                      effect
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Mapping, Optional, Sequence
 
 from ..sim import StreamRegistry
 
@@ -99,6 +99,28 @@ class FaultSpec:
         if self.kind in ("bit_rot", "replica_corrupt") and self.group is None:
             raise ValueError(f"{self.kind} needs the target group")
 
+    def to_dict(self) -> dict:
+        """Plain-data form (campaign specs, JSON transport): non-defaults only."""
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "kind" or value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault spec field(s) {unknown}; expected a subset "
+                f"of {sorted(known)}")
+        if "op" in d and d["op"] is not None:
+            d = {**d, "op": str(d["op"])}
+        return cls(**d)
+
 
 @dataclass(frozen=True)
 class FaultConfig:
@@ -122,6 +144,31 @@ class FaultConfig:
     degrade_factor: float = 4.0
     degrade_duration: float = 1.0
     horizon: float = 10.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fs_error_ops", tuple(self.fs_error_ops))
+
+    def to_dict(self) -> dict:
+        """Plain-data form (campaign specs, JSON transport): non-defaults only."""
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            default = (tuple(f.default) if isinstance(f.default, (list, tuple))
+                       else f.default)
+            if value != default:
+                out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "FaultConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``ValueError``."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault config field(s) {unknown}; expected a subset "
+                f"of {sorted(known)}")
+        return cls(**d)
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,10 @@ paper's 16K/32K/64K processor counts (several minutes of wall clock).
 
 Available figure names: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1
 eq1 eq2_7 inputread (default: all).
+
+``python -m repro.report campaign ...`` delegates to the campaign CLI
+(:mod:`repro.campaign.cli`): expand/run declarative sweep specs, serve
+the sharded sweep service over HTTP, or submit to a running one.
 """
 
 from __future__ import annotations
@@ -178,6 +182,11 @@ FIGURES: dict[str, Callable] = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "campaign":
+        from .campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.report",
         description="Regenerate the paper's tables and figures as CSV files.",

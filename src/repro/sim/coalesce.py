@@ -68,10 +68,12 @@ class GroupPlan:
 class CoalescePlan:
     """A strategy's offer to replay symmetric ranks once.
 
-    ``worker_main(ctx, members, data, steps, basedir, gap_seconds,
+    ``worker_main(ctx, members, data, steps, basedir, gaps,
     barrier_each_step)`` is a generator run on each group's representative
     rank; it must return ``{member_rank: [RankReport, ...]}`` covering every
-    member of that group for every step.
+    member of that group for every step.  ``gaps`` is the normalized
+    per-step pre-gap tuple (``len(steps)`` entries, first always 0) from
+    :func:`repro.experiments.runner.normalize_gaps`.
     """
 
     groups: tuple[GroupPlan, ...]

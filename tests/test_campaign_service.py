@@ -1,0 +1,202 @@
+"""Tests for the sharded sweep service and its HTTP API.
+
+The headline contract: a tiny campaign (2 strategies x 2 processor
+counts, one fault rule, one checkpoint rule) submitted through HTTP
+returns results bit-identical to ``run_sweep`` over the same expanded
+points, and concurrent duplicate submissions collapse to one execution
+(asserted via the service counters).
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import CampaignSpec, SweepService, expand, run_point
+from repro.campaign.http import start_server
+from repro.experiments import DiskCache, run_sweep
+
+#: 2 strategies x 2 np, one fault rule, one checkpoint rule (-> 2 steps).
+E2E_SPEC = {
+    "name": "e2e-tiny",
+    "seed": 5,
+    "grid": {"approaches": ["rbio_ng", "coio_64"], "np": [128, 256]},
+    "checkpoint": {"horizon": 2.0, "wallclock_time": [{"every": 1.0}]},
+    "faults": {"specs": [{"kind": "fs_stall", "time": 0.5, "delay": 0.1}]},
+}
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url) as resp:
+        return json.loads(resp.read())
+
+
+def _post(url: str, payload: dict):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req) as resp:
+        return json.loads(resp.read())
+
+
+def _jsonify(value):
+    """What a dict looks like after one HTTP round trip."""
+    return json.loads(json.dumps(value, default=str))
+
+
+# ---------------------------------------------------------------------------
+# Service core
+# ---------------------------------------------------------------------------
+
+def test_service_matches_direct_run_sweep():
+    spec = CampaignSpec.from_dict(E2E_SPEC)
+    direct = run_sweep(run_point, expand(spec).points, n_workers=1)
+    with SweepService(n_workers=2, cache=False) as svc:
+        cid = svc.submit(spec)
+        status = svc.wait(cid, timeout=300)
+        assert status["state"] == "done"
+        assert status["total"] == 4
+        assert svc.results(cid) == direct
+        summary = svc.summary(cid)
+        assert [p["approach"] for p in summary["points"]] == \
+            ["rbio_ng", "rbio_ng", "coio_64", "coio_64"]
+
+
+def test_point_level_inflight_dedup():
+    # Campaign B's only point is A's *last* point; with one worker it is
+    # still queued when B arrives, so B must share the in-flight future.
+    a = CampaignSpec.from_dict({
+        "name": "a", "seed": 5,
+        "grid": {"approaches": ["rbio_ng", "coio_64"], "np": [128]}})
+    b = CampaignSpec.from_dict({
+        "name": "b", "seed": 5,
+        "grid": {"approaches": ["coio_64"], "np": [128]}})
+    assert expand(a).points[-1] == expand(b).points[0]
+    with SweepService(n_workers=1, cache=False) as svc:
+        cid_a = svc.submit(a)
+        cid_b = svc.submit(b)
+        svc.wait(cid_a, timeout=300)
+        svc.wait(cid_b, timeout=300)
+        counters = svc.service_status()["counters"]
+        assert counters["points_executed"] == 2
+        assert counters["points_deduped"] == 1
+        assert svc.results(cid_a)[-1] == svc.results(cid_b)[0]
+
+
+def test_disk_cache_spans_service_restarts(tmp_path):
+    spec = CampaignSpec.from_dict({
+        "name": "cached", "seed": 5,
+        "grid": {"approaches": ["rbio_ng"], "np": [128]}})
+    cache = DiskCache(tmp_path / "c")
+    with SweepService(n_workers=1, cache=cache) as svc:
+        first = svc.wait(svc.submit(spec), timeout=300)
+        assert first["state"] == "done"
+        results = svc.results(spec.campaign_id)
+    with SweepService(n_workers=1, cache=DiskCache(tmp_path / "c")) as svc:
+        status = svc.wait(svc.submit(spec), timeout=300)
+        assert status["state"] == "done"
+        counters = svc.service_status()["counters"]
+        assert counters["points_cached"] == 1
+        assert counters["points_executed"] == 0
+        assert svc.results(spec.campaign_id) == results
+
+
+def test_unknown_campaign_raises():
+    with SweepService(n_workers=1, cache=False) as svc:
+        with pytest.raises(KeyError):
+            svc.status("deadbeef")
+
+
+# ---------------------------------------------------------------------------
+# HTTP API end to end
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def http_service():
+    svc = SweepService(n_workers=2, cache=False)
+    server, _thread = start_server(svc)
+    host, port = server.server_address
+    yield svc, f"http://{host}:{port}"
+    server.shutdown()
+    svc.shutdown()
+
+
+def test_http_e2e_bit_identical_and_deduped(http_service):
+    svc, base = http_service
+    spec = CampaignSpec.from_dict(E2E_SPEC)
+    direct = run_sweep(run_point, expand(spec).points, n_workers=1)
+
+    # Two clients submit the identical campaign concurrently.
+    barrier = threading.Barrier(2)
+    responses = []
+
+    def client():
+        barrier.wait()
+        responses.append(_post(f"{base}/campaigns", {"spec": E2E_SPEC}))
+
+    threads = [threading.Thread(target=client) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert responses[0]["campaign_id"] == responses[1]["campaign_id"]
+    cid = responses[0]["campaign_id"]
+    assert cid == spec.campaign_id
+
+    deadline = time.monotonic() + 300
+    while True:
+        status = _get(f"{base}/campaigns/{cid}")
+        if status["state"] != "running":
+            break
+        assert time.monotonic() < deadline, "campaign did not finish"
+        time.sleep(0.2)
+    assert status["state"] == "done"
+
+    # One execution despite two submissions, verified by counters ...
+    service = _get(f"{base}/status")
+    assert service["counters"]["campaigns_submitted"] == 2
+    assert service["counters"]["campaigns_deduped"] == 1
+    assert service["counters"]["points_executed"] == 4
+    assert status["submissions"] == 2
+    # ... and the HTTP results are bit-identical to a direct run_sweep
+    # over the same expanded points.
+    assert _get(f"{base}/campaigns/{cid}/results") == _jsonify(direct)
+    summary = _get(f"{base}/campaigns/{cid}/summary")
+    assert len(summary["points"]) == 4
+    assert all(p["overall_time"] is not None for p in summary["points"])
+
+
+def test_http_rejects_bad_spec_with_path(http_service):
+    _svc, base = http_service
+    try:
+        _post(f"{base}/campaigns", {"spec": {"name": "x"}})
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 400
+        assert "grid" in json.loads(exc.read())["error"]
+    else:
+        pytest.fail("expected HTTP 400")
+
+
+def test_http_unknown_campaign_404(http_service):
+    _svc, base = http_service
+    try:
+        _get(f"{base}/campaigns/deadbeef")
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 404
+    else:
+        pytest.fail("expected HTTP 404")
+
+
+def test_http_campaign_listing(http_service):
+    svc, base = http_service
+    spec = CampaignSpec.from_dict({
+        "name": "listed", "seed": 5,
+        "grid": {"approaches": ["rbio_ng"], "np": [128]}})
+    cid = svc.submit(spec)
+    svc.wait(cid, timeout=300)
+    listing = _get(f"{base}/campaigns")
+    assert [c["name"] for c in listing] == ["listed"]
+    assert listing[0]["campaign_id"] == cid

@@ -1,0 +1,311 @@
+"""Tests for the campaign DSL: parsing, validation, expansion, shim parity."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, SpecError, expand, run_point
+from repro.campaign.shim import (
+    failover_campaign,
+    failover_metrics,
+    faults_sweep_campaign,
+    figure_campaign,
+    prefetch_campaign,
+    rate_rows,
+)
+from repro.ckpt import CheckpointRule, ReducedBlockingIO, checkpoint_instants
+from repro.experiments import (
+    clear_cache,
+    get_run,
+    resilience_sweep,
+    run_resilient_campaign,
+    scaled_problem,
+)
+from repro.faults import FaultSchedule, FaultSpec
+
+
+TINY = {
+    "name": "tiny",
+    "seed": 5,
+    "grid": {"approaches": ["rbio_ng", "coio_64"], "np": [128, 256]},
+}
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint rules (muscle3-style every/at/start/stop)
+# ---------------------------------------------------------------------------
+
+def test_checkpoint_rule_every_and_at():
+    # Periodic rules fire from 'start' (inclusive, default 0) onwards.
+    assert CheckpointRule(every=2.0).instants(7.0) == [0.0, 2.0, 4.0, 6.0]
+    assert CheckpointRule(every=2.0, start=1.0, stop=5.0).instants(9.0) == \
+        [1.0, 3.0, 5.0]
+    assert CheckpointRule(at=(3.0, 1.0)).instants(2.0) == [1.0]
+
+
+def test_checkpoint_rule_validation():
+    with pytest.raises(ValueError):
+        CheckpointRule()  # neither every nor at
+    with pytest.raises(ValueError):
+        CheckpointRule(every=1.0, at=(2.0,))  # both
+    with pytest.raises(ValueError):
+        CheckpointRule(every=-1.0)
+
+
+def test_checkpoint_instants_merges_and_scales():
+    rules = (CheckpointRule(every=2.0), CheckpointRule(at=(2.0, 5.0)))
+    assert checkpoint_instants(rules, 6.0) == (0.0, 2.0, 4.0, 5.0, 6.0)
+    # Step-axis rules: instants in steps, scaled to seconds (0.5 s/step).
+    assert checkpoint_instants((CheckpointRule(at=(2.0, 4.0)),), 6.0,
+                               scale=0.5) == (1.0, 2.0)
+    assert checkpoint_instants((), 4.0, at_end=True) == (4.0,)
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing and validation
+# ---------------------------------------------------------------------------
+
+def test_round_trip_dict_spec_dict():
+    spec = CampaignSpec.from_dict(TINY)
+    again = CampaignSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.to_dict() == spec.to_dict()
+    assert again.campaign_id == spec.campaign_id
+
+
+def test_round_trip_full_featured_spec():
+    d = {
+        "name": "full",
+        "seed": 11,
+        "machine": {"preset": "intrepid_quiet",
+                    "overrides": {"server_disk_bandwidth": 2.0e9}},
+        "grid": {"approaches": ["rbio_ng"], "np": [128],
+                 "fault_rates": [0.0, 2.0]},
+        "checkpoint": {"horizon": 6.0, "at_end": True,
+                       "wallclock_time": [{"every": 2.0, "start": 1.0}],
+                       "solver_steps": [{"at": [4]}]},
+        "faults": {"generate": {"horizon": 6.0, "stall_seconds": 0.25}},
+        "resume": {"enabled": True},
+        "fs_type": "lustre",
+        "basedir": "/scratch/ckpt",
+    }
+    spec = CampaignSpec.from_dict(d)
+    assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_unknown_key_suggests_fix():
+    with pytest.raises(SpecError, match="aproaches.*did you mean.*approaches"):
+        CampaignSpec.from_dict({"name": "x",
+                                "grid": {"aproaches": ["rbio_ng"],
+                                         "np": [128]}})
+
+
+def test_error_messages_name_the_path():
+    with pytest.raises(SpecError, match=r"grid\.np\[1\]"):
+        CampaignSpec.from_dict({"name": "x",
+                                "grid": {"approaches": ["rbio_ng"],
+                                         "np": [128, "lots"]}})
+    with pytest.raises(SpecError, match=r"grid\.approaches\[0\].*unknown"):
+        CampaignSpec.from_dict({"name": "x",
+                                "grid": {"approaches": ["rbioo"],
+                                         "np": [128]}})
+    with pytest.raises(SpecError, match=r"checkpoint\.horizon"):
+        CampaignSpec.from_dict({"name": "x", "grid": TINY["grid"],
+                                "checkpoint": {"at_end": True}})
+    with pytest.raises(SpecError, match=r"faults\.specs\[0\].*rank_crash"):
+        CampaignSpec.from_dict({"name": "x", "grid": TINY["grid"],
+                                "faults": {"specs": [{"kind": "rank_crash"}]}})
+    with pytest.raises(SpecError, match="fs_type.*nfs"):
+        CampaignSpec.from_dict({"name": "x", "grid": TINY["grid"],
+                                "fs_type": "nfs"})
+    with pytest.raises(SpecError, match=r"machine\.overrides.*did you mean"):
+        CampaignSpec.from_dict({"name": "x", "grid": TINY["grid"],
+                                "machine": {
+                                    "overrides": {"server_disk_bandwith": 1}}})
+
+
+def test_mutually_exclusive_sections_rejected():
+    with pytest.raises(SpecError, match="not both"):
+        CampaignSpec.from_dict({"name": "x", "grid": TINY["grid"],
+                                "steps": {"n_steps": 2},
+                                "checkpoint": {"horizon": 4.0,
+                                               "at_end": True}})
+    with pytest.raises(SpecError, match="fault_rates"):
+        CampaignSpec.from_dict({
+            "name": "x",
+            "grid": {"approaches": ["rbio_ng"], "np": [128],
+                     "fault_rates": [1.0]},
+            "faults": {"specs": [{"kind": "fs_stall", "time": 1.0}]}})
+
+
+def test_checkpoint_rules_compile_to_steps_and_gaps():
+    spec = CampaignSpec.from_dict({
+        "name": "x", "grid": TINY["grid"],
+        "checkpoint": {"horizon": 10.0, "at_end": True,
+                       "wallclock_time": [{"every": 4.0}],
+                       "solver_steps": [{"at": [6]}], "t_step": 1.0}})
+    # wallclock every 4 -> 0, 4, 8; solver at 6 (t_step 1) -> 6; end -> 10.
+    n_steps, gaps = spec.steps_and_gaps()
+    assert n_steps == 5
+    assert gaps == (4.0, 2.0, 2.0, 2.0)
+    # No rules within the horizon is an error, not a silent no-op.
+    empty = CampaignSpec.from_dict({
+        "name": "x", "grid": TINY["grid"],
+        "checkpoint": {"horizon": 1.0,
+                       "wallclock_time": [{"every": 5.0, "start": 5.0}]}})
+    with pytest.raises(SpecError, match="no checkpoints"):
+        empty.steps_and_gaps()
+
+
+def test_from_yaml_round_trip():
+    yaml = pytest.importorskip("yaml")
+    spec = CampaignSpec.from_dict(TINY)
+    again = CampaignSpec.from_yaml(yaml.safe_dump(spec.to_dict()))
+    assert again == spec
+
+
+def test_from_file_json(tmp_path):
+    path = tmp_path / "c.json"
+    path.write_text(json.dumps(TINY))
+    assert CampaignSpec.from_file(str(path)) == CampaignSpec.from_dict(TINY)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic expansion and content hashes
+# ---------------------------------------------------------------------------
+
+def test_expansion_deterministic_and_ordered():
+    spec = CampaignSpec.from_dict(TINY)
+    a, b = expand(spec), expand(spec)
+    assert a.hashes() == b.hashes()
+    assert [(p.approach, p.n_ranks) for p in a.points] == [
+        ("rbio_ng", 128), ("rbio_ng", 256),
+        ("coio_64", 128), ("coio_64", 256)]
+    assert len(set(a.hashes())) == 4  # every point distinct
+
+
+def test_content_hash_sensitive_to_inputs():
+    base = expand(CampaignSpec.from_dict(TINY)).hashes()
+    reseeded = expand(CampaignSpec.from_dict({**TINY, "seed": 6})).hashes()
+    quiet = expand(CampaignSpec.from_dict(
+        {**TINY, "machine": {"preset": "intrepid_quiet"}})).hashes()
+    assert set(base).isdisjoint(reseeded)
+    assert set(base).isdisjoint(quiet)
+
+
+def test_expansion_skips_infeasible_file_counts():
+    spec = figure_campaign("f8", ["rbio_nf64", "rbio_nf512"], [128, 1024])
+    expanded = expand(spec)
+    assert [(p.approach, p.n_ranks) for p in expanded.points] == [
+        ("rbio_nf64", 128), ("rbio_nf64", 1024), ("rbio_nf512", 1024)]
+    assert [(s.approach, s.n_ranks) for s in expanded.skipped] == [
+        ("rbio_nf512", 128)]
+    assert "nf=512" in expanded.skipped[0].reason
+
+
+def test_rate_axis_expansion_matches_resilience_convention():
+    spec = faults_sweep_campaign("r", 128, (0.0, 4.0), 2, 1.0, horizon=2.0)
+    points = expand(spec).points
+    assert [p.fault_rate for p in points] == [0.0, 4.0]
+    assert not points[0].faults  # rate 0 -> empty schedule
+    assert len(points[1].faults) > 0
+    # Schedules are drawn per rate index, deterministically.
+    again = expand(spec).points
+    assert again[1].faults == points[1].faults
+
+
+# ---------------------------------------------------------------------------
+# Byte-compatibility with the legacy sweeps (the shim contract)
+# ---------------------------------------------------------------------------
+
+def test_figure_point_matches_get_run():
+    clear_cache()
+    spec = figure_campaign("f", ["rbio_ng"], [128], seed=5)
+    (point,) = expand(spec).points
+    assert point.is_figure_point
+    out = run_point(point)
+    res = get_run("rbio_ng", 128, seed=5).result
+    assert out["overall_time"] == res.overall_time
+    assert out["write_bandwidth"] == res.write_bandwidth
+    clear_cache()
+
+
+def test_prefetch_campaign_warms_figure_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "c"))
+    clear_cache()
+    spec = figure_campaign("f", ["rbio_ng"], [128], seed=5)
+    prefetch_campaign(spec, n_workers=1)
+    entries = list((tmp_path / "c").iterdir())
+    assert len(entries) == 1
+    # get_run is now a warm hit: same disk entry, no new files.
+    get_run("rbio_ng", 128, seed=5)
+    assert list((tmp_path / "c").iterdir()) == entries
+    clear_cache()
+
+
+def test_rate_rows_bit_identical_to_resilience_sweep():
+    rates = (0.0, 2.0)
+    legacy = resilience_sweep(
+        ReducedBlockingIO(workers_per_writer=64), 128,
+        scaled_problem(128).data(), rates, n_steps=2, gap_seconds=1.0,
+        horizon=2.0)
+    spec = faults_sweep_campaign("r", 128, rates, 2, 1.0, horizon=2.0)
+    assert rate_rows(spec, n_workers=1) == legacy
+
+
+def test_failover_metrics_bit_identical_to_legacy_campaign():
+    faults = FaultSchedule((FaultSpec(kind="rank_crash", time=1.0, rank=0),))
+    campaign = run_resilient_campaign(
+        ReducedBlockingIO(workers_per_writer=64), 128,
+        scaled_problem(128).data(), n_steps=2, faults=faults,
+        gap_seconds=1.0)
+    spec = failover_campaign("f", 128, 2, 1.0)
+    out = failover_metrics(spec, n_workers=1)
+    assert out == {
+        "restored_step": campaign.restored_step,
+        "failovers": campaign.fault_report["by_kind"].get(
+            "writer_failover", 0),
+        "overall_time": campaign.results[-1].overall_time,
+        "crashed_roles": campaign.results[-1].roles.count("crashed"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI surfaces
+# ---------------------------------------------------------------------------
+
+def test_cli_expand_and_run(tmp_path, capsys):
+    from repro.campaign.cli import main
+
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps({
+        "name": "cli-tiny", "seed": 5,
+        "grid": {"approaches": ["rbio_ng"], "np": [128]}}))
+    assert main(["expand", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "cli-tiny" in out and "rbio_ng" in out
+    assert main(["run", str(path), "-w", "1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["name"] == "cli-tiny"
+    assert len(payload["results"]) == 1
+    assert payload["results"][0]["approach"] == "rbio_ng"
+
+
+def test_report_cli_delegates_campaign_subcommand(tmp_path, capsys):
+    from repro.report import main
+
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps({
+        "name": "via-report",
+        "grid": {"approaches": ["rbio_ng"], "np": [128]}}))
+    assert main(["campaign", "expand", str(path)]) == 0
+    assert "via-report" in capsys.readouterr().out
+
+
+def test_cli_rejects_bad_spec(tmp_path):
+    from repro.campaign.cli import main
+
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"name": "x"}))
+    with pytest.raises(SystemExit, match="grid"):
+        main(["expand", str(path)])

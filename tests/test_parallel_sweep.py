@@ -71,6 +71,116 @@ def test_disk_cache_atomic_write_leaves_no_temp_files(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Bounded cache: LRU eviction + concurrent multi-process writers
+# ---------------------------------------------------------------------------
+
+def test_parse_size():
+    from repro.experiments.parallel import parse_size
+
+    assert parse_size("1000") == 1000
+    assert parse_size("4K") == 4096
+    assert parse_size("2M") == 2 * 1024 ** 2
+    assert parse_size("1G") == 1024 ** 3
+    assert parse_size("1.5K") == 1536
+    with pytest.raises(ValueError):
+        parse_size("lots")
+    with pytest.raises(ValueError):
+        parse_size("0")
+
+
+def test_sweep_cache_max_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "c"))
+    monkeypatch.setenv("REPRO_BENCH_CACHE_MAX", "64K")
+    cache = sweep_cache()
+    assert cache.max_bytes == 64 * 1024
+    monkeypatch.delenv("REPRO_BENCH_CACHE_MAX")
+    assert sweep_cache().max_bytes is None
+
+
+def test_disk_cache_lru_eviction_bounds_size(tmp_path):
+    import time
+
+    cache = DiskCache(tmp_path / "c", max_bytes=2048)
+    for i in range(12):
+        cache.put(f"k{i:02d}", b"x" * 400)
+        time.sleep(0.01)  # distinct mtimes so LRU order is unambiguous
+    assert cache.size_bytes() <= 2048
+    # Newest entries survive, oldest are gone.
+    assert cache.get("k11") is not None
+    assert cache.get("k00") is None
+    # No lock or temp litter after a quiescent put sequence.
+    leftover = {p.suffix for p in cache.root.iterdir()}
+    assert leftover == {".pkl"}
+
+
+def test_disk_cache_lru_reads_protect_entries(tmp_path):
+    import time
+
+    cache = DiskCache(tmp_path / "c", max_bytes=1300)
+    cache.put("hot", b"x" * 400)
+    for i in range(3):
+        time.sleep(0.01)
+        cache.put(f"cold{i}", b"x" * 400)
+        time.sleep(0.01)
+        assert cache.get("hot") is not None  # touch refreshes recency
+    # The repeatedly-read entry outlived colder, younger ones.
+    assert cache.get("hot") is not None
+    assert cache.get("cold0") is None
+
+
+def test_disk_cache_oversized_single_entry_still_readable(tmp_path):
+    cache = DiskCache(tmp_path / "c", max_bytes=64)
+    cache.put("big", b"x" * 1000)
+    assert cache.get("big") is not None
+
+
+def test_disk_cache_stale_evict_lock_is_broken(tmp_path):
+    cache = DiskCache(tmp_path / "c", max_bytes=512)
+    lock = cache.root / ".evict.lock"
+    lock.touch()
+    old = 1_000_000.0  # epoch 1970: far past the staleness threshold
+    os.utime(lock, (old, old))
+    for i in range(4):
+        cache.put(f"k{i}", b"x" * 400)
+    assert cache.size_bytes() <= 512
+    assert not lock.exists()
+
+
+def _hammer(args):
+    """One worker process: interleaved puts and gets on a shared cache."""
+    root, max_bytes, worker, rounds = args
+    cache = DiskCache(root, max_bytes=max_bytes)
+    bad = 0
+    for i in range(rounds):
+        key = f"k{(worker + i) % 8}"
+        cache.put(key, (key, b"v" * 200))
+        value = cache.get(key)
+        # Concurrent eviction may turn the read into a miss, but a hit
+        # must never be torn or belong to another key.
+        if value is not None and value[0] != key:
+            bad += 1
+    return bad
+
+
+def test_disk_cache_concurrent_multiprocess_writers(tmp_path):
+    from concurrent.futures import ProcessPoolExecutor
+
+    root = str(tmp_path / "shared")
+    args = [(root, 4096, w, 25) for w in range(4)]
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        corrupt = list(pool.map(_hammer, args))
+    assert corrupt == [0, 0, 0, 0]
+    cache = DiskCache(root, max_bytes=4096)
+    # The shared directory stayed bounded and every surviving entry is
+    # readable and consistent.
+    assert cache.size_bytes() <= 4096
+    for path in cache.root.glob("*.pkl"):
+        key = path.stem
+        value = cache.get(key)
+        assert value is None or value[0] == key
+
+
+# ---------------------------------------------------------------------------
 # run_sweep
 # ---------------------------------------------------------------------------
 
