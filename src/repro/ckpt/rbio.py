@@ -172,8 +172,12 @@ class ReducedBlockingIO(CheckpointStrategy):
             t0 = eng.now
             tag = _PKG_TAG_BASE + step
             package = (tuple(data.field_sizes), data.concatenated_payload())
-            for m in members:
-                gviews[m].post(0, nbytes, tag=tag, payload=package)
+            # One bulk call posts every member's package to the writer
+            # (group-local rank 0); transfers are still issued per member in
+            # member order, so the writer-side incast is bit-identical.
+            gviews[members[0]].post_members(
+                [gviews[m].rank for m in members], 0, nbytes, tag=tag,
+                payload=package)
             yield eng.timeout(copy)
             t_done = eng.now
             if ctx.profiler is not None:

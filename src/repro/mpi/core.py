@@ -40,7 +40,7 @@ import math
 from typing import Any, Callable, Optional
 
 from ..network import Fabric
-from ..sim import Engine, Event, Store
+from ..sim import Cohort, Engine, Event, Store
 
 __all__ = [
     "ANY_SOURCE",
@@ -152,6 +152,9 @@ class Communicator:
             cfg.torus_hop_latency * max(1, fabric.topology.max_hops() // 2)
         )
         self._link_bw = cfg.torus_link_bandwidth * cfg.torus_links_per_node
+        # Barrier completion delay is a constant of the communicator; cache
+        # it so the per-rank arrival fast path does no float math.
+        self._sync_time = 2 * self.tree_time()
 
     def view(self, local_rank: int) -> "CommView":
         """The per-rank handle for ``local_rank`` on this communicator."""
@@ -167,6 +170,14 @@ class Communicator:
             raise MPIError(f"world rank {world_rank} not in communicator") from None
 
     # -- collective machinery (called from CommView) ------------------------
+    #
+    # Each arrival is credited to the engine as one absorbed logical event:
+    # the analytic model folds the rank's tree-stage message into shared
+    # bookkeeping, but the modeled system did send it (see the module
+    # docstring — a barrier is O(np) events, np up + np down).  The "down"
+    # half is the completion fan-out, which is why every op completes on a
+    # :class:`~repro.sim.Cohort` sized to the communicator.
+
     def _collective_enter(self, name: str, local_rank: int, contrib: Any,
                           root: int) -> tuple[_CollectiveOp, bool]:
         """Register a rank's arrival at its next collective call.
@@ -178,7 +189,8 @@ class Communicator:
         self._coll_seq[local_rank] = seq + 1
         op = self._coll_ops.get(seq)
         if op is None:
-            op = _CollectiveOp(name, self.size, Event(self.engine), root)
+            op = _CollectiveOp(name, self.size, Cohort(self.engine, self.size),
+                               root)
             self._coll_ops[seq] = op
         elif op.name != name or op.root != root:
             raise MPIError(
@@ -187,10 +199,89 @@ class Communicator:
             )
         op.contrib[local_rank] = contrib
         op.arrived += 1
+        self.engine.count_events()
         is_last = op.arrived == self.size
         if is_last:
             del self._coll_ops[seq]
         return op, is_last
+
+    def _barrier_arrive(self, local_rank: int) -> _CollectiveOp:
+        """Barrier-specialised :meth:`_collective_enter` + completion.
+
+        The barrier is the hottest collective (every checkpoint wave runs
+        one per step per rank), and it carries no contribution and a
+        constant completion delay — so the generic path's contribution
+        write, tuple return, and tree-time recomputation are pure overhead.
+        Semantics are identical to ``_collective_enter("barrier", rank,
+        None, 0)`` followed by ``_finish_after(op, 2 * tree_time(), None)``
+        on the last arrival.
+        """
+        seqs = self._coll_seq
+        seq = seqs[local_rank]
+        seqs[local_rank] = seq + 1
+        ops = self._coll_ops
+        op = ops.get(seq)
+        if op is None:
+            op = _CollectiveOp("barrier", self.size,
+                               Cohort(self.engine, self.size), 0)
+            ops[seq] = op
+        elif op.name != "barrier" or op.root != 0:
+            raise MPIError(
+                f"collective mismatch at seq {seq}: rank {local_rank} called "
+                f"barrier(root=0) but op is {op.name}(root={op.root})"
+            )
+        arrived = op.arrived + 1
+        op.arrived = arrived
+        # Inlined engine.count_events(): one absorbed arrival, on the
+        # hottest per-rank path in the simulator.
+        engine = self.engine
+        engine._event_count += 1
+        engine._absorbed += 1
+        if arrived == self.size:
+            del ops[seq]
+            self._finish_after(op, self._sync_time, None)
+        return op
+
+    def _barrier_arrive_members(self, local_ranks) -> _CollectiveOp:
+        """Enter the next barrier for a whole symmetric member group.
+
+        For the contiguous ascending ranges coalescing plans produce, the
+        per-member loop collapses to two list-slice compares/assigns and a
+        single arrival-count bump — O(1) interpreted operations per wave
+        regardless of group size (the slices are C-level).  Any other
+        membership shape, or members out of collective lockstep, falls back
+        to per-member arrival with identical semantics.
+        """
+        members = list(local_ranks)
+        k = len(members)
+        if k == 0:
+            raise MPIError("barrier_members requires at least one member")
+        lo = members[0]
+        seqs = self._coll_seq
+        seq = seqs[lo]
+        if members != list(range(lo, lo + k)) or seqs[lo:lo + k] != [seq] * k:
+            op = None
+            for lr in members:
+                op = self._barrier_arrive(lr)
+            return op
+        seqs[lo:lo + k] = [seq + 1] * k
+        ops = self._coll_ops
+        op = ops.get(seq)
+        if op is None:
+            op = _CollectiveOp("barrier", self.size,
+                               Cohort(self.engine, self.size), 0)
+            ops[seq] = op
+        elif op.name != "barrier" or op.root != 0:
+            raise MPIError(
+                f"collective mismatch at seq {seq}: members {lo}..{lo + k - 1} "
+                f"called barrier(root=0) but op is {op.name}(root={op.root})"
+            )
+        op.arrived += k
+        self.engine.count_events(k)
+        if op.arrived == self.size:
+            del ops[seq]
+            self._finish_after(op, self._sync_time, None)
+        return op
 
     def _complete_split(self, op: _CollectiveOp) -> None:
         """Build the sub-communicators of a completed MPI_Comm_split."""
@@ -312,6 +403,36 @@ class CommView:
 
         transport.callbacks.append(deliver)
 
+    def post_members(self, sources_local, dest: int, nbytes: int,
+                     tag: int = 0, payload: Any = None) -> None:
+        """Bulk :meth:`post`: one buffered send per represented member.
+
+        A coalesced representative replaying a symmetric group's sends
+        issues one per member; this keeps the per-member fabric transfers
+        (each member's message reserves injection/ejection capacity on its
+        own, so the writer-side incast stays bit-identical to uncoalesced
+        execution) while hoisting the per-call lookups out of the loop.
+        ``sources_local`` gives the member source ranks on this
+        communicator, in issue order.
+        """
+        comm = self.comm
+        if not 0 <= dest < comm.size:
+            raise MPIError(f"post dest {dest} out of range (size {comm.size})")
+        if nbytes < 0:
+            raise MPIError(f"negative message size {nbytes}")
+        eng = comm.engine
+        issued_at = eng.now
+        transfer = comm.fabric.transfer
+        world = comm.world_ranks
+        dst_world = world[dest]
+        put = comm.mailboxes[dest].put
+        for src in sources_local:
+            def deliver(_ev, put=put, src=src, tag=tag, nbytes=nbytes,
+                        payload=payload, issued_at=issued_at, eng=eng):
+                put(Message(src, tag, nbytes, payload, issued_at, eng.now))
+
+            transfer(world[src], dst_world, nbytes).callbacks.append(deliver)
+
     def send(self, dest: int, nbytes: int, tag: int = 0, payload: Any = None):
         """Blocking send (generator): returns when send buffer is reusable."""
         req = self.isend(dest, nbytes, tag=tag, payload=payload)
@@ -360,10 +481,7 @@ class CommView:
     # ------------------------------------------------------------------
     def barrier(self):
         """Generator: block until every rank of the communicator arrives."""
-        comm = self.comm
-        op, is_last = comm._collective_enter("barrier", self.rank, None, 0)
-        if is_last:
-            comm._finish_after(op, 2 * comm.tree_time(), None)
+        op = self.comm._barrier_arrive(self.rank)
         yield op.event
 
     def bcast(self, value: Any = None, root: int = 0, nbytes: int = 0):
@@ -454,15 +572,12 @@ class CommView:
         """Generator: enter the next barrier once per represented member.
 
         Used by a coalescing representative to stand in for every symmetric
-        member of its group: arrival counting, contribution slots, and
-        completion timing are identical to each member entering on its own.
+        member of its group: arrival counting and completion timing are
+        identical to each member entering on its own, but a contiguous
+        member range costs O(1) interpreted work per wave
+        (:meth:`Communicator._barrier_arrive_members`).
         """
-        comm = self.comm
-        op = None
-        for lr in local_ranks:
-            op, is_last = comm._collective_enter("barrier", lr, None, 0)
-            if is_last:
-                comm._finish_after(op, 2 * comm.tree_time(), None)
+        op = self.comm._barrier_arrive_members(local_ranks)
         yield op.event
 
     def split_members(self, entries):

@@ -15,6 +15,10 @@ eq1 eq2_7 inputread (default: all).
 ``python -m repro.report campaign ...`` delegates to the campaign CLI
 (:mod:`repro.campaign.cli`): expand/run declarative sweep specs, serve
 the sharded sweep service over HTTP, or submit to a running one.
+
+``python -m repro.report profile SPEC [--index N] [--top N]`` runs one
+expanded campaign point under cProfile and prints the top-N functions by
+cumulative time — the first stop when a sweep suddenly gets slow.
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from .experiments import (
 )
 from .experiments.inputread import input_read_time
 
-__all__ = ["main", "FIGURES"]
+__all__ = ["main", "profile_main", "FIGURES"]
 
 
 def _write_csv(path: str, header: list, rows: Iterable[list]) -> int:
@@ -180,6 +184,59 @@ FIGURES: dict[str, Callable] = {
 }
 
 
+def profile_main(argv: list[str]) -> int:
+    """``repro-report profile``: cProfile one campaign point, print top-N.
+
+    Runs in a fresh process with cold in-memory caches, so the profile
+    shows the real simulation cost of the point (the figure-run disk/memory
+    caches that make repeated sweeps cheap are per-process).
+    """
+    import cProfile
+    import pstats
+
+    from .campaign.compiler import expand, run_point
+    from .campaign.spec import CampaignSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report profile",
+        description="Profile one expanded campaign point with cProfile.",
+    )
+    parser.add_argument("spec", help="campaign spec file (YAML/JSON)")
+    parser.add_argument("--index", type=int, default=0,
+                        help="point to profile, in expansion order (default 0)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="how many functions to print (default 25)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "calls"],
+                        help="pstats sort key (default cumulative)")
+    args = parser.parse_args(argv)
+
+    spec = CampaignSpec.from_file(args.spec)
+    expanded = expand(spec)
+    if not expanded.points:
+        print(f"profile: spec {args.spec!r} expands to no points",
+              file=sys.stderr)
+        return 2
+    if not 0 <= args.index < len(expanded.points):
+        print(f"profile: --index {args.index} out of range "
+              f"(spec expands to {len(expanded.points)} points)",
+              file=sys.stderr)
+        return 2
+    point = expanded.points[args.index]
+    print(f"profiling point {args.index}/{len(expanded.points)}: "
+          f"{point.approach} np={point.n_ranks} steps={point.n_steps} "
+          f"hash={point.content_hash[:12]}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    out = run_point(point)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(f"point result: overall_time={out.get('overall_time'):.6g} s  "
+          f"gbps={out.get('gbps'):.4g}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = sys.argv[1:] if argv is None else argv
@@ -187,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
         from .campaign.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.report",
         description="Regenerate the paper's tables and figures as CSV files.",

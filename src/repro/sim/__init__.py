@@ -5,6 +5,8 @@ Public surface:
 - :class:`~repro.sim.engine.Engine`, :class:`~repro.sim.engine.Event`,
   :class:`~repro.sim.engine.Process`, :func:`~repro.sim.engine.all_of`,
   :func:`~repro.sim.engine.any_of` — the process/event core.
+- :class:`~repro.sim.engine.BatchTimeout`, :class:`~repro.sim.engine.Cohort`
+  — batched events: one calendar entry standing for N homogeneous ones.
 - :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`,
   :class:`~repro.sim.resources.Pipe` — shared-resource primitives.
 - :class:`~repro.sim.randomness.StreamRegistry`,
@@ -19,6 +21,8 @@ from .coalesce import CoalescePlan, GroupPlan
 from .engine import (
     AllOf,
     AnyOf,
+    BatchTimeout,
+    Cohort,
     Engine,
     Event,
     Process,
@@ -28,13 +32,15 @@ from .engine import (
     all_of,
     any_of,
 )
-from .monitor import IntervalRecorder, Tally, TimeSeries
+from .monitor import IntervalRecorder, Tally, TimeSeries, pow2_histogram
 from .randomness import NoiseModel, StreamRegistry
 from .resources import Pipe, Resource, Store
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BatchTimeout",
+    "Cohort",
     "CoalescePlan",
     "GroupPlan",
     "Engine",
@@ -48,6 +54,7 @@ __all__ = [
     "IntervalRecorder",
     "Tally",
     "TimeSeries",
+    "pow2_histogram",
     "NoiseModel",
     "StreamRegistry",
     "Pipe",

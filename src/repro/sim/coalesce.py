@@ -17,7 +17,10 @@ in member order from one generator.  Because
   the writer node's ejection pipe exactly as before),
 - collective operations are still entered once per member (the arrival
   count, contribution slots, and completion timing of
-  ``Communicator._collective_enter`` are unchanged), and
+  ``Communicator._collective_enter`` are unchanged; contiguous member
+  ranges take the bulk O(1)-per-wave arrival path of
+  ``Communicator._barrier_arrive_members``, which bumps the same counters
+  in one step), and
 - member timelines are identical by symmetry (their reports are synthesized
   from the representative's observed times),
 
@@ -62,6 +65,18 @@ class GroupPlan:
             raise ValueError(
                 f"rep {self.rep} must be the first member {self.members[0]}"
             )
+
+    @property
+    def is_contiguous(self) -> bool:
+        """Whether members form a contiguous ascending rank range.
+
+        Contiguous groups (every plan the checkpoint strategies produce)
+        take the engine's bulk O(1)-per-wave collective arrival path;
+        other shapes fall back to per-member entry with identical
+        semantics.
+        """
+        m = self.members
+        return list(m) == list(range(m[0], m[0] + len(m)))
 
 
 @dataclass(frozen=True)

@@ -10,10 +10,40 @@ but is deliberately small and fast: the figure-scale experiments in this
 repository run 65,536 rank processes, so every event carries as little state
 as possible and hot paths avoid allocation where practical.
 
+Scheduling structure
+--------------------
+The pending-event list is a *bucketed calendar queue*: a heap of distinct
+timestamps plus a dict mapping each timestamp to the FIFO list of events
+scheduled at that instant.  Scheduling into an existing instant is a dict
+lookup and a list append (no heap sift), and :meth:`Engine.run` drains each
+instant's bucket in one pass — a zero-delay cascade (event storms, barrier
+fan-outs, eager-send completions) costs no heap operations at all.  Events
+appended to the live bucket while it drains are picked up in the same pass,
+which reproduces exactly the FIFO tie-break the classic ``(time, seq)``
+heap gave: within one instant, events fire in the order they were scheduled.
+
+Batched events
+--------------
+Three engine-level batch primitives let homogeneous event cohorts cost one
+heap entry instead of N:
+
+- :meth:`Engine.timeout_batch` — one timer standing for a whole vector of
+  timeouts (fires at the max delay; numpy arrays welcome).
+- :meth:`Engine.cohort` — a counted event standing for N identical
+  completions (a barrier's release fan-out, a coalesced group's wave).
+- :meth:`Engine.succeed_many` — bulk-trigger a list of pending events in
+  FIFO order with one bucket extend.
+
+Each credits the events it absorbs to :attr:`Engine.events_processed` as
+*logical* events and records the batch size in the histograms exposed by
+:meth:`Engine.counters`, so throughput numbers remain auditable: the
+``dispatched`` / ``batched`` / ``absorbed`` split shows exactly where the
+events/sec figure comes from.
+
 Core concepts
 -------------
 :class:`Engine`
-    Owns the virtual clock and the pending-event heap.  ``engine.process(gen)``
+    Owns the virtual clock and the pending-event calendar.  ``engine.process(gen)``
     turns a generator into a running simulation process.
 :class:`Event`
     A one-shot occurrence.  Processes wait on events by ``yield``-ing them.
@@ -45,6 +75,10 @@ import heapq
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
+import numpy as np
+
+from .monitor import pow2_histogram
+
 _heappush = heapq.heappush
 _heappop = heapq.heappop
 
@@ -52,6 +86,8 @@ __all__ = [
     "Engine",
     "Event",
     "Timeout",
+    "BatchTimeout",
+    "Cohort",
     "Process",
     "Condition",
     "all_of",
@@ -59,6 +95,11 @@ __all__ = [
     "SimulationError",
     "StopEngine",
 ]
+
+#: Compact the live bucket once this many entries of a zero-delay cascade
+#: have been dispatched, so unbounded same-instant churn (ping-pong loops)
+#: runs in constant memory instead of growing the bucket without limit.
+_BUCKET_COMPACT = 8192
 
 
 class SimulationError(RuntimeError):
@@ -108,7 +149,16 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self.triggered = True
         self._value = value
-        self.engine._push(0.0, self)
+        # Immediate triggers dominate event traffic; inline the bucket insert.
+        engine = self.engine
+        t = engine.now
+        buckets = engine._buckets
+        bucket = buckets.get(t)
+        if bucket is None:
+            buckets[t] = [self]
+            _heappush(engine._times, t)
+        else:
+            bucket.append(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -149,7 +199,8 @@ class Timeout(Event):
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        # Timeouts dominate event traffic; flatten the Event.__init__ call.
+        # Timeouts dominate event traffic; flatten the Event.__init__ call
+        # and inline the calendar insert.
         self.engine = engine
         self.callbacks = []
         self._value = value
@@ -157,7 +208,81 @@ class Timeout(Event):
         self.triggered = True
         self.processed = False
         self.delay = delay
-        engine._push(delay, self)
+        t = engine.now + delay
+        buckets = engine._buckets
+        bucket = buckets.get(t)
+        if bucket is None:
+            buckets[t] = [self]
+            _heappush(engine._times, t)
+        else:
+            bucket.append(self)
+
+
+class BatchTimeout(Event):
+    """One timer event standing for a whole vector of homogeneous timeouts.
+
+    Fires once at ``now + max(delays)`` — the instant the *last* member of
+    the batch would have fired — and credits ``len(delays)`` logical events
+    to the engine (the batch-size histogram in :meth:`Engine.counters`
+    records the cohort).  Use it when a process issues many timeouts and
+    only ever observes the last one to complete (drain pacing waves,
+    symmetric per-member service delays): the simulation outcome is
+    identical and the calendar holds one entry instead of N.
+
+    ``delays`` may be any non-empty sequence; numpy arrays take the
+    vectorized ``min``/``max`` path.
+    """
+
+    __slots__ = ("delay", "batch_size")
+
+    def __init__(self, engine: "Engine", delays, value: Any = None) -> None:
+        n = len(delays)
+        if n == 0:
+            raise ValueError("timeout_batch requires at least one delay")
+        if isinstance(delays, np.ndarray):
+            dmin = float(delays.min())
+            dmax = float(delays.max())
+        else:
+            dmin = min(delays)
+            dmax = max(delays)
+        if dmin < 0:
+            raise ValueError(f"negative timeout delay in batch: {dmin}")
+        self.engine = engine
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self.triggered = True
+        self.processed = False
+        self.delay = dmax
+        self.batch_size = n
+        engine._record_batch(n)
+        engine._push(dmax, self)
+
+
+class Cohort(Event):
+    """A counted event standing for ``size`` identical completions.
+
+    Behaves exactly like :class:`Event`, but when it succeeds it credits
+    ``size`` logical events to the engine: one for its own dispatch plus
+    ``size - 1`` absorbed members.  Collective release fan-outs use this —
+    a barrier completion notionally delivers one release message per rank,
+    but all ranks synchronise on the same event, so the cohort keeps the
+    accounting honest (each release is a modeled event) without paying N
+    calendar entries.  Failure (:meth:`Event.fail`) credits nothing.
+    """
+
+    __slots__ = ("batch_size",)
+
+    def __init__(self, engine: "Engine", size: int) -> None:
+        if size < 1:
+            raise ValueError(f"cohort size must be >= 1, got {size}")
+        super().__init__(engine)
+        self.batch_size = size
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the cohort, crediting its members as logical events."""
+        self.engine._record_batch(self.batch_size)
+        return Event.succeed(self, value)
 
 
 class Process(Event):
@@ -169,7 +294,7 @@ class Process(Event):
     an event which triggers with the generator's return value.
     """
 
-    __slots__ = ("generator", "_waiting_on", "name")
+    __slots__ = ("generator", "name", "_resume_cb")
 
     def __init__(
         self,
@@ -182,11 +307,14 @@ class Process(Event):
             raise TypeError(f"process requires a generator, got {type(generator)!r}")
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
+        # Bind the resume callback once: every suspension appends the same
+        # object instead of allocating a fresh bound method per event.
+        resume = self._resume
+        self._resume_cb = resume
         # Bootstrap: resume at the current time via an immediate event.
         init = Event(engine)
         init.triggered = True
-        init.callbacks.append(self._resume)
+        init.callbacks.append(resume)
         engine._push(0.0, init)
 
     @property
@@ -195,7 +323,6 @@ class Process(Event):
         return not self.triggered
 
     def _resume(self, event: Event) -> None:
-        self._waiting_on = None
         gen = self.generator
         while True:
             try:
@@ -218,20 +345,20 @@ class Process(Event):
                         return
                     raise
                 raise
-            if not isinstance(target, Event):
+            try:
+                cbs = target.callbacks
+            except AttributeError:
                 gen.throw(
                     SimulationError(
                         f"process {self.name!r} yielded non-event {target!r}"
                     )
                 )
                 continue
-            cbs = target.callbacks
             if cbs is None:
                 # Already processed: resume synchronously with its value.
                 event = target
                 continue
-            self._waiting_on = target
-            cbs.append(self._resume)
+            cbs.append(self._resume_cb)
             return
 
 
@@ -258,14 +385,17 @@ class Condition(Event):
         self._pending = len(self.events)
         self._constructing = True
         self._init_hook()
+        # One bound callback shared by every child: the counted trigger in
+        # _on_child makes per-child closures unnecessary.
+        on_child = self._on_child
         for ev in self.events:
             if self.triggered:
                 break
             cbs = ev.callbacks
             if cbs is None:
-                self._on_child(ev)
+                on_child(ev)
             else:
-                cbs.append(self._on_child)
+                cbs.append(on_child)
         self._constructing = False
 
     def _complete(self, value: Any, ok: bool = True) -> None:
@@ -337,28 +467,67 @@ def any_of(engine: "Engine", events: Iterable[Event]) -> AnyOf:
 
 
 class Engine:
-    """The simulation engine: virtual clock plus pending-event heap.
+    """The simulation engine: virtual clock plus bucketed event calendar.
 
     Time is a ``float`` in arbitrary units; this repository uses seconds
     throughout.  Events scheduled for the same instant are processed in
-    FIFO order of scheduling (stable via a monotonically increasing
-    sequence number).
+    FIFO order of scheduling: each instant owns one append-ordered bucket,
+    drained front to back, which is observationally identical to the
+    classic ``(time, seq)`` heap tie-break.
+
+    Event accounting distinguishes three populations (all visible in
+    :meth:`counters`):
+
+    - *dispatched* — events popped from the calendar and fired (including
+      each batch's representative event);
+    - *batched* — the *extra* members a :class:`BatchTimeout` /
+      :class:`Cohort` stands for beyond its dispatched representative
+      (batch size minus one per batch);
+    - *absorbed* — logical events credited via :meth:`count_events` with no
+      calendar entry at all (e.g. per-rank collective arrivals, which the
+      analytic collective model folds into shared bookkeeping).
+
+    ``events_processed`` is exactly their sum — the logical event count of
+    the modeled system, which is what throughput figures report.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_event_count", "_wall_seconds")
+    __slots__ = (
+        "now",
+        "_times",
+        "_buckets",
+        "_event_count",
+        "_dispatched",
+        "_absorbed",
+        "_batched",
+        "_batch_count",
+        "_batch_hist",
+        "_drain_hist",
+        "_wall_seconds",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list = []
-        self._seq: int = 0
+        self._times: list = []  # heap of distinct pending timestamps
+        self._buckets: dict = {}  # timestamp -> FIFO list of events
         self._event_count: int = 0
+        self._dispatched: int = 0
+        self._absorbed: int = 0
+        self._batched: int = 0
+        self._batch_count: int = 0
+        self._batch_hist: dict = {}  # batch_size.bit_length() -> count
+        self._drain_hist: dict = {}  # drained bucket size bit_length -> count
         self._wall_seconds: float = 0.0
 
     # -- scheduling ------------------------------------------------------
     def _push(self, delay: float, event: Event) -> None:
-        seq = self._seq + 1
-        self._seq = seq
-        _heappush(self._heap, (self.now + delay, seq, event))
+        t = self.now + delay
+        buckets = self._buckets
+        bucket = buckets.get(t)
+        if bucket is None:
+            buckets[t] = [event]
+            _heappush(self._times, t)
+        else:
+            bucket.append(event)
 
     def event(self) -> Event:
         """Create a new pending :class:`Event` bound to this engine."""
@@ -367,6 +536,43 @@ class Engine:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event triggering ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def timeout_batch(self, delays, value: Any = None) -> BatchTimeout:
+        """One timer for a whole vector of timeouts (fires at the max).
+
+        Equivalent to issuing ``timeout(d)`` for every ``d`` in ``delays``
+        and waiting for the last one, at the cost of a single calendar
+        entry; the batch members are credited as logical events.  Accepts
+        any non-empty sequence, including numpy arrays.
+        """
+        return BatchTimeout(self, delays, value)
+
+    def cohort(self, size: int) -> Cohort:
+        """A counted event standing for ``size`` identical completions."""
+        return Cohort(self, size)
+
+    def succeed_many(self, events: Iterable[Event], value: Any = None) -> None:
+        """Trigger many pending events with one bucket insert.
+
+        Identical to calling ``ev.succeed(value)`` on each event in
+        iteration order (FIFO at the current instant), but resolves the
+        calendar bucket once.  Raises :class:`SimulationError` on the first
+        already-triggered event; events before it are left triggered,
+        matching the sequential-call semantics.
+        """
+        t = self.now
+        buckets = self._buckets
+        bucket = buckets.get(t)
+        if bucket is None:
+            bucket = buckets[t] = []
+            _heappush(self._times, t)
+        append = bucket.append
+        for ev in events:
+            if ev.triggered:
+                raise SimulationError(f"{ev!r} already triggered")
+            ev.triggered = True
+            ev._value = value
+            append(ev)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start ``generator`` as a simulation process."""
@@ -380,20 +586,54 @@ class Engine:
         """Shorthand for :func:`any_of` bound to this engine."""
         return AnyOf(self, events)
 
-    # -- execution -------------------------------------------------------
+    # -- accounting ------------------------------------------------------
+    def _record_batch(self, n: int) -> None:
+        """Credit an ``n``-member batch.
+
+        The representative event itself is counted by calendar dispatch, so
+        only the ``n - 1`` members it stands for are credited here; the
+        batch-size histogram records the full cohort size ``n``.  This keeps
+        the :meth:`counters` breakdown exact::
+
+            events_processed == dispatched + batched + absorbed
+        """
+        self._event_count += n - 1
+        self._batched += n - 1
+        self._batch_count += 1
+        bl = n.bit_length()
+        hist = self._batch_hist
+        hist[bl] = hist.get(bl, 0) + 1
+
+    def count_events(self, n: int = 1) -> None:
+        """Credit ``n`` logical events absorbed without a calendar entry.
+
+        Model layers call this when they fold per-entity work into shared
+        bookkeeping (e.g. a collective arrival per rank): the modeled
+        system performed the event even though the simulator didn't pay a
+        heap entry for it.  Shows up as ``absorbed_events`` in
+        :meth:`counters`.
+        """
+        self._event_count += n
+        self._absorbed += n
+
     @property
     def events_processed(self) -> int:
-        """Total number of events processed so far (diagnostics)."""
+        """Total logical events so far: dispatched + batched + absorbed."""
         return self._event_count
 
     @property
     def wall_seconds(self) -> float:
-        """Real time spent inside :meth:`run` so far."""
+        """Real time spent inside :meth:`run` / :meth:`step` dispatch so far.
+
+        Setup work between engine construction and the first ``run()`` call
+        (building ranks, fabrics, payloads) is excluded, so
+        :attr:`events_per_second` measures the dispatch loop itself.
+        """
         return self._wall_seconds
 
     @property
     def events_per_second(self) -> float:
-        """Simulator throughput: events processed per wall-clock second."""
+        """Simulator throughput: logical events per wall-clock second."""
         if self._wall_seconds <= 0:
             return 0.0
         return self._event_count / self._wall_seconds
@@ -401,16 +641,27 @@ class Engine:
     def counters(self) -> dict:
         """Machine-readable performance counters for benchmark records.
 
-        ``bytes_copied`` / ``buffer_allocs`` are the process-wide data-plane
-        copy counters (:data:`repro.buffers.stats`): how many payload bytes
-        were physically materialized, and into how many buffers, since the
-        last ``stats.reset()`` — they ride along so benchmark records can
-        report copy volume next to event throughput.
+        ``dispatched_events`` / ``batched_events`` / ``absorbed_events``
+        break ``events_processed`` down by how each event was paid for
+        (calendar dispatch, batch membership, synchronous credit), and the
+        two histograms show batch sizes and per-instant drain sizes in
+        power-of-two bins — together they make the events/sec figure
+        auditable.  ``bytes_copied`` / ``buffer_allocs`` are the
+        process-wide data-plane copy counters (:data:`repro.buffers.stats`):
+        how many payload bytes were physically materialized, and into how
+        many buffers, since the last ``stats.reset()`` — they ride along so
+        benchmark records can report copy volume next to event throughput.
         """
         from ..buffers import stats as buffer_stats
 
         return {
             "events_processed": self._event_count,
+            "dispatched_events": self._dispatched,
+            "batched_events": self._batched,
+            "absorbed_events": self._absorbed,
+            "batches": self._batch_count,
+            "batch_hist": pow2_histogram(self._batch_hist),
+            "drain_hist": pow2_histogram(self._drain_hist),
             "wall_seconds": self._wall_seconds,
             "events_per_second": self.events_per_second,
             "virtual_time": self.now,
@@ -418,17 +669,28 @@ class Engine:
             "buffer_allocs": buffer_stats.buffer_allocs,
         }
 
+    # -- execution -------------------------------------------------------
     def step(self) -> None:
         """Process the single next event, advancing the clock."""
-        t, _seq, event = _heappop(self._heap)
+        t = self._times[0]
         self.now = t
-        callbacks = event.callbacks
-        event.callbacks = None
-        event.processed = True
-        self._event_count += 1
-        if callbacks:
-            for cb in callbacks:
-                cb(event)
+        bucket = self._buckets[t]
+        event = bucket.pop(0)
+        t_wall = perf_counter()
+        try:
+            callbacks = event.callbacks
+            event.callbacks = None
+            event.processed = True
+            if callbacks:
+                for cb in callbacks:
+                    cb(event)
+        finally:
+            self._event_count += 1
+            self._dispatched += 1
+            self._wall_seconds += perf_counter() - t_wall
+            if not bucket:
+                del self._buckets[t]
+                _heappop(self._times)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the event list drains or the clock passes ``until``.
@@ -436,46 +698,67 @@ class Engine:
         When stopped by ``until``, the clock is set exactly to ``until`` and
         any event scheduled at or before that instant has been processed.
         """
-        # The pop/dispatch loop is inlined (rather than calling step()) —
-        # at 65K ranks the per-event call overhead is measurable.
-        heap = self._heap
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        times = self._times
+        buckets = self._buckets
+        drain_hist = self._drain_hist
         pop = _heappop
-        count = 0
+        dispatched = 0
         t_wall = perf_counter()
         try:
-            if until is None:
-                while heap:
-                    t, _seq, event = pop(heap)
-                    self.now = t
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    event.processed = True
-                    count += 1
-                    if callbacks:
-                        for cb in callbacks:
-                            cb(event)
-            else:
-                if until < self.now:
-                    raise ValueError(
-                        f"until={until} is in the past (now={self.now})"
-                    )
-                while heap and heap[0][0] <= until:
-                    t, _seq, event = pop(heap)
-                    self.now = t
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    event.processed = True
-                    count += 1
-                    if callbacks:
-                        for cb in callbacks:
-                            cb(event)
+            while times:
+                t = times[0]
+                if until is not None and t > until:
+                    break
+                pop(times)
+                self.now = t
+                bucket = buckets[t]
+                i = 0
+                drained = 0
+                try:
+                    n = len(bucket)
+                    while i < n:
+                        # Drain the instant front to back; events appended
+                        # to the live bucket during dispatch (zero-delay
+                        # cascades) are picked up by the outer re-check, in
+                        # FIFO order, without touching the heap.
+                        while i < n:
+                            event = bucket[i]
+                            i += 1
+                            callbacks = event.callbacks
+                            event.callbacks = None
+                            event.processed = True
+                            if callbacks:
+                                for cb in callbacks:
+                                    cb(event)
+                        if i >= _BUCKET_COMPACT:
+                            del bucket[:i]
+                            drained += i
+                            i = 0
+                        n = len(bucket)
+                finally:
+                    drained += i
+                    dispatched += drained
+                    bl = drained.bit_length()
+                    drain_hist[bl] = drain_hist.get(bl, 0) + 1
+                    if i < len(bucket):
+                        # Aborted mid-instant (StopEngine, process error):
+                        # keep the unprocessed remainder schedulable.
+                        del bucket[:i]
+                        _heappush(times, t)
+                    else:
+                        del buckets[t]
+            if until is not None:
                 self.now = until
         except StopEngine:
             return
         finally:
-            self._event_count += count
+            self._event_count += dispatched
+            self._dispatched += dispatched
             self._wall_seconds += perf_counter() - t_wall
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        times = self._times
+        return times[0] if times else float("inf")

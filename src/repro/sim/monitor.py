@@ -9,6 +9,9 @@
 :class:`IntervalRecorder`
     Records ``(start, end, tag)`` activity intervals and can rasterise the
     number of concurrently active intervals over time.
+:func:`pow2_histogram`
+    Formats the engine's power-of-two binned size histograms (batch sizes,
+    per-instant drain sizes) as human-readable range labels.
 """
 
 from __future__ import annotations
@@ -17,7 +20,27 @@ from typing import Any, Iterable, Optional
 
 import numpy as np
 
-__all__ = ["Tally", "TimeSeries", "IntervalRecorder"]
+__all__ = ["Tally", "TimeSeries", "IntervalRecorder", "pow2_histogram"]
+
+
+def pow2_histogram(counts: dict) -> dict:
+    """Format a ``bit_length``-binned histogram with power-of-two labels.
+
+    The engine's hot loops bin sizes by ``size.bit_length()`` (one int op);
+    this turns ``{bl: count}`` into ``{"1": c, "2-3": c, "4-7": c, ...}``
+    for counters output and benchmark records.  Bin 0 (size-zero drains)
+    is labelled ``"0"``.
+    """
+    out: dict = {}
+    for bl in sorted(counts):
+        if bl <= 0:
+            label = "0"
+        else:
+            lo = 1 << (bl - 1)
+            hi = (1 << bl) - 1
+            label = str(lo) if lo == hi else f"{lo}-{hi}"
+        out[label] = counts[bl]
+    return out
 
 
 class Tally:

@@ -1,0 +1,68 @@
+"""Unit tests for the perf-regression gate (tools/perf_gate.py).
+
+The gate's one-sided wall-clock policy is load-bearing for CI: a
+throughput metric (``events_per_second``) must fail only when it drops
+below the band, and a duration metric only when it rises above it —
+getting faster is never a violation.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from perf_gate import compare_record, is_higher_better, is_wall_metric  # noqa: E402
+
+
+def record(**metrics):
+    return {"scale": "smoke", "metrics": metrics}
+
+
+def test_metric_classification():
+    assert is_wall_metric("wall_seconds")
+    assert is_wall_metric("events_per_second")
+    assert not is_wall_metric("events_processed")
+    assert is_higher_better("events_per_second")
+    assert not is_higher_better("wall_seconds")
+
+
+def test_deterministic_metrics_gated_both_directions():
+    base = record(events=1000)
+    assert compare_record("b", base, record(events=1400), 0.25, False)
+    assert compare_record("b", base, record(events=600), 0.25, False)
+    assert not compare_record("b", base, record(events=1100), 0.25, False)
+
+
+def test_wall_metrics_skipped_unless_enabled():
+    base = record(wall_seconds=1.0)
+    cur = record(wall_seconds=10.0)
+    assert not compare_record("b", base, cur, 0.25, gate_wall=False)
+    assert compare_record("b", base, cur, 0.25, gate_wall=True)
+
+
+def test_throughput_gate_is_one_sided_upward_ok():
+    base = record(events_per_second=1_000_000.0)
+    # 10x faster: never a violation.
+    faster = record(events_per_second=10_000_000.0)
+    assert not compare_record("b", base, faster, 0.25, gate_wall=True)
+    # 40% slower: regression.
+    slower = record(events_per_second=600_000.0)
+    problems = compare_record("b", base, slower, 0.25, gate_wall=True)
+    assert len(problems) == 1 and "regressed" in problems[0]
+
+
+def test_duration_gate_is_one_sided_downward_ok():
+    base = record(wall_seconds=2.0)
+    assert not compare_record("b", base, record(wall_seconds=0.5), 0.25,
+                              gate_wall=True)
+    problems = compare_record("b", base, record(wall_seconds=3.0), 0.25,
+                              gate_wall=True)
+    assert len(problems) == 1 and "regressed" in problems[0]
+
+
+def test_vanished_metric_and_scale_mismatch_fail():
+    base = record(events=10)
+    assert compare_record("b", base, record(other=10), 0.25, False)
+    cur = {"scale": "small", "metrics": {"events": 10}}
+    problems = compare_record("b", base, cur, 0.25, False)
+    assert "scale mismatch" in problems[0]

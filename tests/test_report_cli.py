@@ -67,3 +67,29 @@ def test_report_inputread(tmp_path):
     rows = read_csv(os.path.join(out, "inputread_presetup.csv"))
     assert rows[0][0] == "n_ranks"
     assert float(rows[1][-1]) > 0  # total time
+
+
+# ---------------------------------------------------------------------------
+# profile subcommand
+# ---------------------------------------------------------------------------
+
+PROFILE_SPEC = '{"name": "prof-demo", "grid": {"approaches": ["rbio_ng"], "np": [64]}}'
+
+
+def test_profile_subcommand_prints_hotspots(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(PROFILE_SPEC)
+    rc = main(["profile", str(spec), "--top", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "profiling point 0/1: rbio_ng np=64" in out
+    assert "cumulative" in out  # the pstats table header
+    assert "point result: overall_time=" in out
+
+
+def test_profile_index_out_of_range(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(PROFILE_SPEC)
+    rc = main(["profile", str(spec), "--index", "3"])
+    assert rc == 2
+    assert "out of range" in capsys.readouterr().err

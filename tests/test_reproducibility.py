@@ -188,3 +188,72 @@ def test_empty_schedule_is_zero_cost():
     fs = empty.job.services["fs"]
     assert fs.injector is None
     assert empty.job.fabric.injector is None
+
+
+# ---------------------------------------------------------------------------
+# Engine-level determinism: FIFO tie-break at equal virtual times
+# ---------------------------------------------------------------------------
+
+def test_same_time_fifo_matches_seq_heap_reference():
+    """Seeded interleaving: bucketed-calendar dispatch order must be
+    bit-identical to the classic ``(time, seq)`` heap tie-break.
+
+    Delays are drawn from a tiny discrete set so most instants hold many
+    tied events; the engine must fire them in scheduling order.
+    """
+    import heapq
+
+    from repro.sim import Engine
+
+    rng = np.random.default_rng(20260807)
+    delays = rng.choice([0.0, 0.5, 1.0, 1.5, 2.0], size=300)
+
+    # Reference: stable heap keyed on (time, issue sequence number).
+    heap = [(float(d), seq, seq) for seq, d in enumerate(delays)]
+    heapq.heapify(heap)
+    expected = [label for _, _, label in
+                [heapq.heappop(heap) for _ in range(len(delays))]]
+
+    eng = Engine()
+    fired = []
+
+    def proc(i, d):
+        yield eng.timeout(float(d))
+        fired.append(i)
+
+    # Bootstrap events all fire at t=0 in creation order, so the timeouts
+    # are issued in index order — matching the reference's seq numbering.
+    for i, d in enumerate(delays):
+        eng.process(proc(i, d))
+    eng.run()
+    assert fired == expected
+
+
+def test_zero_delay_cascade_interleaving_is_fifo():
+    """Events appended to an instant *while it drains* fire after every
+    event scheduled there earlier, in append order — seeded across several
+    tied instants with two-stage processes."""
+    from repro.sim import Engine
+
+    rng = np.random.default_rng(7)
+    delays = rng.choice([1.0, 2.0, 3.0], size=60)
+
+    eng = Engine()
+    fired = []
+
+    def proc(i, d):
+        yield eng.timeout(float(d))
+        fired.append(("first", i))
+        yield eng.timeout(0.0)  # appended to the live bucket mid-drain
+        fired.append(("second", i))
+
+    for i, d in enumerate(delays):
+        eng.process(proc(i, d))
+    eng.run()
+
+    expected = []
+    for t in sorted(set(delays.tolist())):
+        at_t = [i for i, d in enumerate(delays) if d == t]
+        expected.extend(("first", i) for i in at_t)
+        expected.extend(("second", i) for i in at_t)
+    assert fired == expected

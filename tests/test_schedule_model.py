@@ -83,12 +83,17 @@ def test_young_interval():
        st.integers(min_value=1, max_value=1000))
 @settings(max_examples=100, deadline=None)
 def test_improvement_monotone_property(tc_old, tc_new, t_comp, nc):
-    """Improvement > 1 iff the new approach is faster."""
+    """Improvement is on the faster side of 1 when the new approach is faster.
+
+    Equality is allowed: when the checkpoint terms are negligible next to
+    the compute term, ``(X + a) / (X + b)`` rounds to exactly 1.0 in
+    float64 even though a != b.
+    """
     imp = production_improvement(tc_old, tc_new, t_comp, nc)
     if tc_old > tc_new:
-        assert imp > 1
+        assert imp >= 1
     elif tc_old < tc_new:
-        assert imp < 1
+        assert imp <= 1
 
 
 # ---------------------------------------------------------------------------

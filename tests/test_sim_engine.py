@@ -1,5 +1,8 @@
 """Unit tests for the DES kernel (engine, events, processes, conditions)."""
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.sim import Engine, SimulationError, StopEngine, all_of, any_of
@@ -408,3 +411,237 @@ def test_many_processes_scale_smoke():
         eng.process(proc(i))
     eng.run()
     assert len(counter) == 10_000
+
+
+# ---------------------------------------------------------------------------
+# Batched event primitives (timeout_batch / cohort / succeed_many)
+# ---------------------------------------------------------------------------
+
+def test_timeout_batch_fires_at_max_delay():
+    eng = Engine()
+    got = []
+
+    def proc():
+        v = yield eng.timeout_batch([1.0, 3.0, 2.0], value="last")
+        got.append((eng.now, v))
+
+    eng.process(proc())
+    eng.run()
+    assert got == [(3.0, "last")]
+
+
+def test_timeout_batch_numpy_delays():
+    eng = Engine()
+    got = []
+    delays = np.array([0.5, 2.5, 1.5])
+
+    def proc():
+        yield eng.timeout_batch(delays)
+        got.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert got == [2.5]
+
+
+def test_timeout_batch_credits_logical_events():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout_batch([1.0] * 10)
+
+    eng.process(proc())
+    eng.run()
+    c = eng.counters()
+    # 10 logical timeouts paid for with one calendar entry: the dispatched
+    # representative plus nine batched members.
+    assert c["batched_events"] == 9
+    assert c["batches"] == 1
+    assert c["batch_hist"] == {"8-15": 1}
+
+
+def test_timeout_batch_rejects_empty_and_negative():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout_batch([])
+    with pytest.raises(ValueError):
+        eng.timeout_batch([1.0, -0.5])
+    with pytest.raises(ValueError):
+        eng.timeout_batch(np.array([1.0, -0.5]))
+
+
+def test_cohort_wakes_all_waiters_and_credits_members():
+    eng = Engine()
+    woken = []
+    coh = eng.cohort(8)
+
+    def waiter(i):
+        yield coh
+        woken.append(i)
+
+    def releaser():
+        yield eng.timeout(2.0)
+        coh.succeed()
+
+    for i in range(3):
+        eng.process(waiter(i))
+    eng.process(releaser())
+    eng.run()
+    assert woken == [0, 1, 2]
+    c = eng.counters()
+    assert c["batched_events"] == 7  # 8 members minus the dispatched event
+    assert c["batch_hist"] == {"8-15": 1}
+
+
+def test_cohort_size_validated():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.cohort(0)
+
+
+def test_cohort_fail_credits_nothing():
+    eng = Engine()
+    caught = []
+    coh = eng.cohort(16)
+
+    def waiter():
+        try:
+            yield coh
+        except RuntimeError:
+            caught.append(True)
+
+    eng.process(waiter())
+    coh.fail(RuntimeError("collective aborted"))
+    eng.run()
+    assert caught == [True]
+    assert eng.counters()["batched_events"] == 0
+
+
+def test_succeed_many_preserves_fifo_order():
+    eng = Engine()
+    order = []
+    events = [eng.event() for _ in range(5)]
+
+    def waiter(i, ev):
+        v = yield ev
+        order.append((i, v))
+
+    for i, ev in enumerate(events):
+        eng.process(waiter(i, ev))
+
+    def trigger():
+        yield eng.timeout(1.0)
+        eng.succeed_many(events, value="go")
+
+    eng.process(trigger())
+    eng.run()
+    assert order == [(i, "go") for i in range(5)]
+
+
+def test_succeed_many_rejects_already_triggered():
+    eng = Engine()
+    a, b, c = eng.event(), eng.event(), eng.event()
+    b.succeed()
+    with pytest.raises(SimulationError):
+        eng.succeed_many([a, b, c])
+    # Sequential semantics: events before the offender are left triggered,
+    # the offender and everything after are untouched.
+    assert a.triggered
+    assert not c.triggered
+
+
+def test_count_events_credits_absorbed():
+    eng = Engine()
+    eng.count_events(100)
+    c = eng.counters()
+    assert c["absorbed_events"] == 100
+    assert c["events_processed"] == 100
+
+
+def test_counters_breakdown_is_exact():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.0)
+        yield eng.timeout_batch([0.5] * 4)
+        coh = eng.cohort(6)
+        coh.succeed()
+        yield coh
+
+    eng.process(proc())
+    eng.count_events(3)
+    eng.run()
+    c = eng.counters()
+    assert c["events_processed"] == (
+        c["dispatched_events"] + c["batched_events"] + c["absorbed_events"]
+    )
+    assert c["batched_events"] == (4 - 1) + (6 - 1)
+    assert c["absorbed_events"] == 3
+    assert c["batches"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock accounting (events_per_second must exclude setup time)
+# ---------------------------------------------------------------------------
+
+def test_wall_seconds_excludes_setup_time():
+    eng = Engine()
+
+    def proc():
+        for _ in range(100):
+            yield eng.timeout(1.0)
+
+    eng.process(proc())
+    # Expensive "setup" between construction and run() — building ranks,
+    # fabrics, payloads in the real experiments — must not count toward
+    # the dispatch-loop wall clock.
+    time.sleep(0.05)
+    eng.run()
+    assert 0.0 < eng.wall_seconds < 0.05
+    c = eng.counters()
+    assert c["events_per_second"] == pytest.approx(
+        c["events_processed"] / c["wall_seconds"]
+    )
+
+
+def test_wall_seconds_zero_before_run():
+    eng = Engine()
+    assert eng.wall_seconds == 0.0
+    assert eng.events_per_second == 0.0
+
+
+def test_step_accumulates_wall_and_dispatch():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.0)
+
+    eng.process(proc())
+    eng.step()  # bootstrap event
+    eng.step()  # the timeout
+    assert eng.wall_seconds > 0.0
+    assert eng.counters()["dispatched_events"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Mid-instant abort: the unprocessed bucket remainder stays schedulable
+# ---------------------------------------------------------------------------
+
+def test_stop_engine_mid_instant_keeps_remainder():
+    eng = Engine()
+    log = []
+
+    def stopper():
+        yield eng.timeout(1.0)
+        raise StopEngine()
+
+    def survivor():
+        yield eng.timeout(1.0)  # same instant, scheduled after the stopper
+        log.append(eng.now)
+
+    eng.process(stopper())
+    eng.process(survivor())
+    eng.run()
+    assert log == []  # StopEngine halted before the survivor fired
+    eng.run()  # resuming processes the same-instant remainder
+    assert log == [1.0]

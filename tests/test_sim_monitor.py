@@ -154,3 +154,22 @@ def test_intervals_activity_conserves_total_property(spans):
     starts, counts = rec.activity(1.0)
     assert counts.max() <= len(spans)
     assert counts.min() >= 0
+
+
+# ---------------------------------------------------------------------------
+# pow2_histogram
+# ---------------------------------------------------------------------------
+
+def test_pow2_histogram_labels_and_counts():
+    from repro.sim import pow2_histogram
+
+    # Keys are bit_length bins as produced by the engine's hot loops.
+    raw = {0: 2, 1: 5, 2: 3, 4: 7, 7: 1}
+    out = pow2_histogram(raw)
+    assert out == {"0": 2, "1": 5, "2-3": 3, "8-15": 7, "64-127": 1}
+
+
+def test_pow2_histogram_empty():
+    from repro.sim import pow2_histogram
+
+    assert pow2_histogram({}) == {}

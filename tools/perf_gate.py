@@ -21,7 +21,10 @@ direction means behavior changed and the baseline must be re-examined
 *Wall-clock* metrics (``wall_seconds``, ``events_per_second``,
 ``recorded_at``-adjacent timings) depend on the host and are skipped by
 default; set ``PERF_GATE_WALL=1`` (or pass ``--wall``) on quiet, dedicated
-runners to gate them too.
+runners to gate them too.  Wall metrics are gated *one-sided*: only a
+regression fails (throughput below the band for ``*_per_second``, time
+above the band for ``wall``/``elapsed``) — getting faster is never a
+violation, so speedups don't demand a synchronized baseline refresh.
 
 Usage
 -----
@@ -47,11 +50,21 @@ from pathlib import Path
 #: Leaf-key substrings marking host-dependent (wall-clock) metrics.
 WALL_MARKERS = ("wall", "per_second", "elapsed", "host_seconds")
 
+#: Wall-metric substrings where *larger* is better (throughput rates);
+#: every other wall metric is a duration, where smaller is better.
+HIGHER_BETTER_MARKERS = ("per_second",)
+
 
 def is_wall_metric(key: str) -> bool:
     """Whether a leaf metric key names a host-time-dependent value."""
     k = key.lower()
     return any(m in k for m in WALL_MARKERS)
+
+
+def is_higher_better(key: str) -> bool:
+    """Whether a wall metric improves upward (rate) vs downward (duration)."""
+    k = key.lower()
+    return any(m in k for m in HIGHER_BETTER_MARKERS)
 
 
 def iter_leaves(node, prefix=""):
@@ -75,7 +88,8 @@ def compare_record(name: str, baseline: dict, current: dict,
     cur_leaves = dict(iter_leaves(current.get("metrics", {})))
     for path, base in base_leaves.items():
         leaf = path.rsplit(".", 1)[-1]
-        if is_wall_metric(leaf) and not gate_wall:
+        wall = is_wall_metric(leaf)
+        if wall and not gate_wall:
             continue
         if path not in cur_leaves:
             problems.append(f"{name}: metric {path} vanished from current record")
@@ -85,8 +99,18 @@ def compare_record(name: str, baseline: dict, current: dict,
             if abs(cur) > 1e-9:
                 problems.append(f"{name}: {path} moved off zero to {cur:g}")
             continue
-        drift = abs(cur - base) / abs(base)
-        if drift > tolerance:
+        drift = (cur - base) / abs(base)
+        if wall:
+            # One-sided: only a regression counts.  Rates regress downward,
+            # durations regress upward.
+            regressed = (drift < -tolerance if is_higher_better(leaf)
+                         else drift > tolerance)
+            if regressed:
+                problems.append(
+                    f"{name}: {path} regressed {drift:+.1%} past the "
+                    f"{tolerance:.0%} band (baseline {base:g}, current {cur:g})"
+                )
+        elif abs(drift) > tolerance:
             problems.append(
                 f"{name}: {path} drifted {drift:+.1%} past the "
                 f"{tolerance:.0%} band (baseline {base:g}, current {cur:g})"
