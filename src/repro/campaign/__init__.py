@@ -49,6 +49,7 @@ from .spec import (
     ResumeSpec,
     SpecError,
     StepsSpec,
+    WorkloadSpec,
 )
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "SpecError",
     "StepsSpec",
     "SweepService",
+    "WorkloadSpec",
     "expand",
     "run_point",
 ]

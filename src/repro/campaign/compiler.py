@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..ckpt import EvolvingData
+from ..ckpt.incremental import stats as delta_stats
 from ..experiments.figures import get_run, problem_for, strategy_for
 from ..experiments.parallel import cache_key
 from ..experiments.resilience import run_resilient_campaign
@@ -52,6 +54,9 @@ class CampaignPoint:
     faults: FaultSchedule = FaultSchedule()
     fault_rate: Optional[float] = None
     resume: bool = False
+    delta: str = "off"
+    points_per_rank: Optional[int] = None
+    mutated_fraction: float = 0.25
 
     @property
     def is_figure_point(self) -> bool:
@@ -59,9 +64,12 @@ class CampaignPoint:
 
         Those execute through :func:`get_run` so they share the figure
         benches' caches and reproduce their values bit for bit.
+        Incremental (delta) points and evolving-workload points never
+        qualify — their data and written bytes differ from the figures'.
         """
         return (self.n_steps == 1 and not self.faults and not self.resume
-                and self.fs_type == "gpfs" and self.basedir == "/ckpt")
+                and self.fs_type == "gpfs" and self.basedir == "/ckpt"
+                and self.delta == "off" and self.points_per_rank is None)
 
     @property
     def content_hash(self) -> str:
@@ -69,7 +77,8 @@ class CampaignPoint:
         return cache_key(
             "campaign_point", self.approach, self.n_ranks, self.seed,
             self.n_steps, self.gaps, self.fs_type, self.basedir,
-            self.fault_rate, self.resume, self.config, self.faults)
+            self.fault_rate, self.resume, self.config, self.faults,
+            self.delta, self.points_per_rank, self.mutated_fraction)
 
 
 @dataclass(frozen=True)
@@ -110,7 +119,7 @@ def _rate_schedule(spec: CampaignSpec, config: MachineConfig, n_ranks: int,
 
 
 def expand(spec: CampaignSpec) -> ExpandedCampaign:
-    """Expand a spec into points: approach-major, then np, then rate.
+    """Expand a spec into points: approach-major, then np, delta, rate.
 
     Infeasible combinations (an ``rbio_nfNNN`` key whose file count
     leaves fewer than two ranks per writer group) are skipped and
@@ -131,19 +140,25 @@ def expand(spec: CampaignSpec) -> ExpandedCampaign:
                         f"nf={nf} needs at least 2 ranks per writer group "
                         f"at np={n_ranks}"))
                     continue
-            common = dict(
-                approach=approach, n_ranks=n_ranks, config=config,
-                seed=spec.seed, n_steps=n_steps, gaps=gaps,
-                fs_type=spec.fs_type, basedir=spec.basedir,
-                resume=spec.resume.enabled,
-            )
-            if spec.grid.fault_rates:
-                for i, rate in enumerate(spec.grid.fault_rates):
-                    points.append(CampaignPoint(
-                        faults=_rate_schedule(spec, config, n_ranks, i, rate),
-                        fault_rate=rate, **common))
-            else:
-                points.append(CampaignPoint(faults=base_faults, **common))
+            workload = dict(
+                points_per_rank=spec.workload.points_per_rank,
+                mutated_fraction=spec.workload.mutated_fraction,
+            ) if spec.workload is not None else {}
+            for delta in (spec.grid.delta or ("off",)):
+                common = dict(
+                    approach=approach, n_ranks=n_ranks, config=config,
+                    seed=spec.seed, n_steps=n_steps, gaps=gaps,
+                    fs_type=spec.fs_type, basedir=spec.basedir,
+                    resume=spec.resume.enabled, delta=delta, **workload,
+                )
+                if spec.grid.fault_rates:
+                    for i, rate in enumerate(spec.grid.fault_rates):
+                        points.append(CampaignPoint(
+                            faults=_rate_schedule(spec, config, n_ranks, i,
+                                                  rate),
+                            fault_rate=rate, **common))
+                else:
+                    points.append(CampaignPoint(faults=base_faults, **common))
     return ExpandedCampaign(spec, tuple(points), tuple(skipped))
 
 
@@ -161,6 +176,7 @@ def run_point(point: CampaignPoint) -> dict:
         "n_steps": point.n_steps,
         "seed": point.seed,
         "fault_rate": point.fault_rate,
+        "delta": point.delta,
         "point": point.content_hash,
     }
     if point.is_figure_point:
@@ -173,8 +189,17 @@ def run_point(point: CampaignPoint) -> dict:
             "gbps": res.write_bandwidth / 1e9,
         })
         return out
-    strategy = strategy_for(point.approach, point.n_ranks)
-    data = problem_for(point.n_ranks).data()
+    strategy = strategy_for(point.approach, point.n_ranks,
+                            delta=point.delta)
+    if point.points_per_rank is not None:
+        data = EvolvingData.mutating(
+            point.points_per_rank,
+            mutated_fraction=point.mutated_fraction,
+            seed=0 if point.seed is None else point.seed)
+    else:
+        data = problem_for(point.n_ranks).data()
+    if point.delta != "off":
+        delta_stats.reset()
     if point.resume:
         campaign = run_resilient_campaign(
             strategy, point.n_ranks, data, n_steps=point.n_steps,
@@ -205,4 +230,6 @@ def run_point(point: CampaignPoint) -> dict:
         "gbps": res.write_bandwidth / 1e9,
         "per_step_blocking": [r.blocking_time for r in run.results],
     })
+    if point.delta != "off":
+        out.update(delta_stats.snapshot())
     return out

@@ -51,6 +51,7 @@ __all__ = [
     "CampaignCheckpoint",
     "CampaignFaults",
     "ResumeSpec",
+    "WorkloadSpec",
     "CampaignSpec",
 ]
 
@@ -62,6 +63,10 @@ MACHINE_PRESETS = ("intrepid", "intrepid_quiet")
 
 #: Resume policies (how a restart picks its generation).
 RESUME_POLICIES = ("newest_complete",)
+
+#: Incremental-checkpointing modes the ``grid.delta`` axis accepts
+#: (see :meth:`repro.ckpt.CheckpointStrategy.configure_delta`).
+DELTA_MODES = ("off", "auto", "require")
 
 
 class SpecError(ValueError):
@@ -190,15 +195,16 @@ class MachineSpec:
 
 @dataclass(frozen=True)
 class GridSpec:
-    """The sweep grid: approaches x processor counts [x fault rates]."""
+    """The sweep grid: approaches x np [x fault rates] [x delta modes]."""
 
     approaches: tuple[str, ...]
     np: tuple[int, ...]
     fault_rates: tuple[float, ...] = ()
+    delta: tuple[str, ...] = ()
 
     @classmethod
     def from_dict(cls, d: Mapping, path: str = "grid") -> "GridSpec":
-        _reject_unknown(d, ("approaches", "np", "fault_rates"), path)
+        _reject_unknown(d, ("approaches", "np", "fault_rates", "delta"), path)
         if "approaches" not in d or "np" not in d:
             missing = [k for k in ("approaches", "np") if k not in d]
             raise SpecError(path, f"missing required field(s) {missing}")
@@ -220,17 +226,28 @@ class GridSpec:
             for i, r in enumerate(_sequence(d.get("fault_rates", ()),
                                             f"{path}.fault_rates"))
         ]
+        delta = []
+        for i, m in enumerate(_sequence(d.get("delta", ()), f"{path}.delta")):
+            mode = _string(m, f"{path}.delta[{i}]")
+            if mode not in DELTA_MODES:
+                raise SpecError(f"{path}.delta[{i}]",
+                                f"unknown delta mode {mode!r}; expected one "
+                                f"of {list(DELTA_MODES)}")
+            delta.append(mode)
         if not approaches:
             raise SpecError(f"{path}.approaches", "must not be empty")
         if not np_values:
             raise SpecError(f"{path}.np", "must not be empty")
-        return cls(tuple(approaches), tuple(np_values), tuple(rates))
+        return cls(tuple(approaches), tuple(np_values), tuple(rates),
+                   tuple(delta))
 
     def to_dict(self) -> dict:
         out: dict = {"approaches": list(self.approaches),
                      "np": list(self.np)}
         if self.fault_rates:
             out["fault_rates"] = list(self.fault_rates)
+        if self.delta:
+            out["delta"] = list(self.delta)
         return out
 
 
@@ -433,6 +450,44 @@ class CampaignFaults:
 
 
 @dataclass(frozen=True)
+class WorkloadSpec:
+    """An evolving (step-mutating) workload instead of the static problem.
+
+    When present, every point runs on
+    :meth:`repro.ckpt.EvolvingData.mutating` — each rank's state starts
+    random and a contiguous ``mutated_fraction`` of it is overwritten per
+    step — instead of the weak-scaled paper problem.  This is the
+    workload the ``grid.delta`` axis is designed to measure: the mutated
+    fraction bounds the chunk-dedup ratio an incremental run can reach.
+    """
+
+    points_per_rank: int
+    mutated_fraction: float = 0.25
+
+    @classmethod
+    def from_dict(cls, d: Mapping, path: str = "workload") -> "WorkloadSpec":
+        _reject_unknown(d, ("points_per_rank", "mutated_fraction"), path)
+        if "points_per_rank" not in d:
+            raise SpecError(f"{path}.points_per_rank", "required")
+        fraction = _number(d.get("mutated_fraction", 0.25),
+                           f"{path}.mutated_fraction", positive=True)
+        if fraction > 1.0:
+            raise SpecError(f"{path}.mutated_fraction",
+                            f"must be <= 1, got {fraction}")
+        return cls(
+            points_per_rank=_integer(d["points_per_rank"],
+                                     f"{path}.points_per_rank", minimum=1),
+            mutated_fraction=fraction,
+        )
+
+    def to_dict(self) -> dict:
+        out: dict = {"points_per_rank": self.points_per_rank}
+        if self.mutated_fraction != 0.25:
+            out["mutated_fraction"] = self.mutated_fraction
+        return out
+
+
+@dataclass(frozen=True)
 class ResumeSpec:
     """Resume-from-snapshot semantics for faulted campaigns.
 
@@ -470,7 +525,7 @@ class ResumeSpec:
 # ---------------------------------------------------------------------------
 
 _TOP_LEVEL = ("name", "seed", "machine", "grid", "steps", "checkpoint",
-              "faults", "resume", "fs_type", "basedir")
+              "faults", "resume", "workload", "fs_type", "basedir")
 
 
 @dataclass(frozen=True)
@@ -485,6 +540,7 @@ class CampaignSpec:
     checkpoint: Optional[CampaignCheckpoint] = None
     faults: CampaignFaults = CampaignFaults()
     resume: ResumeSpec = ResumeSpec()
+    workload: Optional[WorkloadSpec] = None
     fs_type: str = "gpfs"
     basedir: str = "/ckpt"
 
@@ -538,6 +594,9 @@ class CampaignSpec:
                 _require_mapping(d.get("faults", {}), "faults")),
             resume=ResumeSpec.from_dict(
                 _require_mapping(d.get("resume", {}), "resume")),
+            workload=(WorkloadSpec.from_dict(
+                _require_mapping(d["workload"], "workload"))
+                if "workload" in d else None),
             fs_type=fs_type,
             basedir=basedir,
         )
@@ -583,6 +642,8 @@ class CampaignSpec:
             out["faults"] = faults
         if self.resume.enabled:
             out["resume"] = self.resume.to_dict()
+        if self.workload is not None:
+            out["workload"] = self.workload.to_dict()
         if self.fs_type != "gpfs":
             out["fs_type"] = self.fs_type
         if self.basedir != "/ckpt":

@@ -20,7 +20,18 @@ from ..faults import UnrecoverableCheckpointError
 from .base import CheckpointStrategy
 from .bbio import BurstBufferIO
 from .coio import CollectiveIO
-from .data import CheckpointData, Field
+from .data import BoundEvolvingData, CheckpointData, EvolvingData, Field
+from .incremental import (
+    ChunkingParams,
+    ChunkRef,
+    Manifest,
+    ManifestError,
+    ManifestSection,
+    chunk_boundaries,
+    chunk_spans,
+    manifest_path,
+)
+from .incremental import stats as delta_stats
 from .layout import FileLayout
 from .onefileper import OneFilePerProcess
 from .rbio import ReducedBlockingIO
@@ -38,6 +49,8 @@ __all__ = [
     "CheckpointStrategy",
     "CollectiveIO",
     "CheckpointData",
+    "EvolvingData",
+    "BoundEvolvingData",
     "Field",
     "FileLayout",
     "OneFilePerProcess",
@@ -46,8 +59,17 @@ __all__ = [
     "RankReport",
     "CheckpointRule",
     "CheckpointSchedule",
+    "ChunkingParams",
+    "ChunkRef",
+    "Manifest",
+    "ManifestError",
+    "ManifestSection",
     "UnrecoverableCheckpointError",
+    "chunk_boundaries",
+    "chunk_spans",
     "checkpoint_instants",
     "checkpoint_ratio",
+    "delta_stats",
+    "manifest_path",
     "production_improvement",
 ]

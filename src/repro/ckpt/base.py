@@ -29,6 +29,15 @@ class CheckpointStrategy:
     #: Short identifier used in result tables ("1pfpp", "coio", "rbio").
     name: str = "abstract"
 
+    #: Incremental-checkpointing mode: "off" (full write, the paper-fidelity
+    #: default), "auto" (delta when payloads are present and the group is
+    #: intact), or "require" (raise if delta writes are impossible).
+    delta: str = "off"
+
+    #: Content-defined chunking bounds used by delta commits (set by
+    #: :meth:`configure_delta`; ``None`` while ``delta == "off"``).
+    chunking = None
+
     def checkpoint(self, ctx: RankContext, data: CheckpointData, step: int,
                    basedir: str = "/ckpt"):
         """Generator: perform one coordinated checkpoint step on this rank.
@@ -95,7 +104,10 @@ class CheckpointStrategy:
 
     def describe(self) -> dict[str, Any]:
         """Strategy parameters for result records / EXPERIMENTS.md rows."""
-        return {"name": self.name}
+        d: dict[str, Any] = {"name": self.name}
+        if self.delta != "off":
+            d["delta"] = self.delta
+        return d
 
     def coalesce_plan(self, n_ranks: int):
         """Offer a :class:`~repro.sim.CoalescePlan`, or ``None``.
@@ -107,6 +119,97 @@ class CheckpointStrategy:
         and aggregator roles) must run every rank.
         """
         return None
+
+    # -- incremental checkpointing --------------------------------------------
+    def configure_delta(self, delta: str = "auto", chunking=None):
+        """Enable incremental (content-addressed delta) checkpointing.
+
+        ``delta="auto"`` writes deltas whenever the data carries payload and
+        the writing group is fully intact, silently falling back to full
+        writes otherwise; ``"require"`` raises instead of falling back when
+        the data is size-only (fault degradation still falls back — a full
+        write is always a correct superset of a delta).  Returns ``self``
+        for chaining.
+        """
+        from .incremental import ChunkingParams
+
+        if delta not in ("off", "auto", "require"):
+            raise ValueError(f"delta must be 'off'|'auto'|'require', "
+                             f"got {delta!r}")
+        self.delta = delta
+        if delta == "off":
+            self.chunking = None
+        else:
+            self.chunking = chunking or ChunkingParams()
+        return self
+
+    def _delta_active(self, data: CheckpointData) -> bool:
+        """Whether this commit should attempt a delta write."""
+        if self.delta == "off":
+            return False
+        if data.has_payload:
+            return True
+        if self.delta == "require":
+            raise ValueError(
+                f"{self.name}: delta='require' needs payload-carrying "
+                f"CheckpointData, got size-only fields")
+        return False
+
+    def _delta_restore(self, ctx: RankContext, template: CheckpointData,
+                       step: int, member: int, path_of):
+        """Generator: restore one member by walking its delta chain.
+
+        ``path_of(step)`` maps a generation to the data-file path holding
+        this member's chunks.  Reads the target generation's manifest,
+        merges its chunk list into contiguous runs per source generation,
+        reads each run, verifies every chunk's CRC32, and returns the
+        per-field payload ropes.  Any damage (missing/short source file,
+        bit-flip, malformed manifest) raises an
+        :class:`~repro.faults.UnrecoverableCheckpointError` subclass so
+        resilient restores vote the generation down.
+        """
+        from ..buffers import ByteRope
+        from ..faults import UnrecoverableCheckpointError
+        from .incremental import (ManifestError, assemble_section,
+                                  read_manifest, read_plan)
+
+        path = path_of(step)
+        manifest = yield from read_manifest(ctx, path, step)
+        section = manifest.section_for(member)
+        if section.field_sizes != template.field_sizes:
+            raise ManifestError(
+                f"{path!r}: manifest member {member} has field sizes "
+                f"{list(section.field_sizes)}, template expects "
+                f"{list(template.field_sizes)}",
+                step=step, path=path, rank=ctx.rank)
+        runs = read_plan(section)
+        run_data = []
+        i = 0
+        while i < len(runs):
+            src = runs[i].src_step
+            src_path = path_of(src)
+            handle = yield from ctx.fs.open(src_path)
+            while i < len(runs) and runs[i].src_step == src:
+                run = runs[i]
+                if handle.file.size < run.offset + run.length:
+                    yield from ctx.fs.close(handle)
+                    raise UnrecoverableCheckpointError(
+                        f"{src_path!r} has {handle.file.size} B, a chunk "
+                        f"run of generation {step} needs "
+                        f"{run.offset + run.length} B",
+                        step=step, path=src_path, rank=ctx.rank)
+                piece = yield from ctx.fs.read(handle, run.offset, run.length)
+                run_data.append((run, ByteRope.wrap(piece)))
+                i += 1
+            yield from ctx.fs.close(handle)
+        payload = assemble_section(section, run_data, step, path,
+                                   rank=ctx.rank)
+        fields = []
+        pos = 0
+        for nbytes in template.field_sizes:
+            fields.append(payload.slice(pos, pos + nbytes))
+            pos += nbytes
+        return fields
 
     # -- shared helpers -------------------------------------------------------
     def step_dir(self, basedir: str, step: int) -> str:

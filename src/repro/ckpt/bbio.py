@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..buffers import ByteRope, zeros
 from ..faults import UnrecoverableCheckpointError
 from ..mpi import RankContext
 from ..mpiio import Hints
@@ -123,10 +124,57 @@ class BurstBufferIO(ReducedBlockingIO):
         return partner * self.workers_per_writer
 
     # -- checkpoint --------------------------------------------------------
+    def _delta_pfs_commits(self, ctx: RankContext, cache: dict, member_sizes,
+                           member_payloads, header_bytes: int, step: int,
+                           basedir: str):
+        """Generator: plan this generation's drain-time delta commit.
+
+        The burst buffer stages the *full* field-major image (buffer and
+        partner restores scatter from it, bit-identical to delta-off), but
+        the background drain ships only ``[header][fresh chunks]`` plus the
+        manifest.  Returns ``(pfs_commits, wire_nbytes)`` for the staged
+        package.
+        """
+        from .incremental import Manifest, manifest_path, shift_fresh, stats
+
+        group = self.group_of(ctx.rank)
+        parents = cache.get("delta_parent")
+        parent_step = parents[0] if parents else None
+        parent_secs = parents[1] if parents else {}
+        group_bytes = sum(sum(s) for s in member_sizes)
+        sections, fresh_parts, fresh_total, hits, misses = \
+            self._plan_group_delta(member_sizes, member_payloads, step,
+                                   parent_secs, range(len(member_sizes)))
+        # Chunking + hashing: one pass over the aggregation buffer.
+        yield ctx.engine.timeout(group_bytes / ctx.config.memory_bandwidth)
+        sections = [shift_fresh(s, step, header_bytes) for s in sections]
+        manifest = Manifest(
+            strategy=self.name, step=step, parent=parent_step,
+            header_bytes=header_bytes, chunking=self.chunking,
+            sections=tuple(sections))
+        blob = manifest.to_bytes()
+        parts = [zeros(header_bytes)] if header_bytes else []
+        delta_image = ByteRope.concat(parts + fresh_parts)
+        path = self.file_path(basedir, step, group)
+        commits = (
+            (path, ((0, header_bytes + fresh_total, delta_image),)),
+            (manifest_path(path), ((0, len(blob), ByteRope.wrap(blob)),)),
+        )
+        to_pfs = header_bytes + fresh_total + len(blob)
+        cache["delta_parent"] = (step, {s.member: s for s in sections})
+        stats.record_commit(group_bytes, to_pfs, hits, misses)
+        return commits, to_pfs
+
     def _stage_package(self, ctx: RankContext, layout, image, step: int,
-                       basedir: str):
+                       basedir: str, delta_fn=None):
         """Generator: stage the assembled image; degrade to the PFS if the
-        local buffer is unusable.  Returns the tier used."""
+        local buffer is unusable.  Returns the tier used.
+
+        ``delta_fn`` (when incremental mode applies) is invoked only after
+        the image is safely staged, so the degraded direct-PFS path below
+        never plans a delta — a degraded generation is always a plain full
+        write without a manifest.
+        """
         eng = ctx.engine
         svc = self._service(ctx)
         buf = svc.buffer_for(ctx.rank)
@@ -144,6 +192,10 @@ class BurstBufferIO(ReducedBlockingIO):
                 pkg = StagedPackage(eng, step, group,
                                     self.file_path(basedir, step, group),
                                     total, layout=layout, image=image)
+                if delta_fn is not None:
+                    commits, wire = yield from delta_fn()
+                    pkg.pfs_commits = commits
+                    pkg.wire_nbytes = wire
                 buf.stage(pkg)
                 if svc.replicator is not None:
                     partner_rank = self._partner_rank(svc, ctx)
@@ -173,9 +225,15 @@ class BurstBufferIO(ReducedBlockingIO):
         eng = ctx.engine
         t0 = eng.now
         gcomm = cache["gcomm"]
-        layout, image, _, _ = yield from self._gather_group(ctx, gcomm, data,
-                                                            step)
-        yield from self._stage_package(ctx, layout, image, step, basedir)
+        layout, image, member_sizes, member_payloads = yield from \
+            self._gather_group(ctx, gcomm, data, step)
+        delta_fn = None
+        if self._delta_active(data):
+            delta_fn = lambda: self._delta_pfs_commits(  # noqa: E731
+                ctx, cache, member_sizes, member_payloads, data.header_bytes,
+                step, basedir)
+        yield from self._stage_package(ctx, layout, image, step, basedir,
+                                       delta_fn=delta_fn)
         self._ack_group(gcomm)
         t_end = eng.now
         if ctx.profiler is not None:
@@ -197,9 +255,16 @@ class BurstBufferIO(ReducedBlockingIO):
         base = g * self.workers_per_writer
         dead_members = tuple(src for src in range(1, gcomm.size)
                              if inj.dead_at(base + src, now))
-        layout, image, _, _ = yield from self._gather_group(
-            ctx, gcomm, data, step, dead_members=dead_members)
-        yield from self._stage_package(ctx, layout, image, step, basedir)
+        layout, image, member_sizes, member_payloads = yield from \
+            self._gather_group(ctx, gcomm, data, step,
+                               dead_members=dead_members)
+        delta_fn = None
+        if self._delta_active(data) and not dead_members:
+            delta_fn = lambda: self._delta_pfs_commits(  # noqa: E731
+                ctx, cache, member_sizes, member_payloads, data.header_bytes,
+                step, basedir)
+        yield from self._stage_package(ctx, layout, image, step, basedir,
+                                       delta_fn=delta_fn)
         self._ack_group(gcomm, dead_members=dead_members)
         for w in self.writer_ranks(n_ranks):
             if not inj.dead_at(w, now):

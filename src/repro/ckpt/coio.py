@@ -114,6 +114,9 @@ class CollectiveIO(CheckpointStrategy):
             # same oracle at the same post-barrier time) and restore falls
             # back to the newest complete one.
             return self._report(ctx, "collective", t0, t0, t0, 0)
+        if self._delta_active(data):
+            return (yield from self._checkpoint_delta(ctx, data, step,
+                                                      basedir, comm, t0))
         layout: FileLayout = yield from comm.allgather(
             list(data.field_sizes), nbytes=8 * data.n_fields,
             map_fn=lambda sizes: FileLayout(data.header_bytes, sizes),
@@ -138,10 +141,85 @@ class CollectiveIO(CheckpointStrategy):
         t_end = eng.now
         return self._report(ctx, "collective", t0, t_end, t_end, data.total_bytes)
 
+    def _checkpoint_delta(self, ctx: RankContext, data: CheckpointData,
+                          step: int, basedir: str, comm, t0: float):
+        """Generator: collective delta commit on the group file.
+
+        Every member chunks its payload against its cached parent section,
+        the group allgathers ``(section, fresh_bytes)`` pairs, and one
+        shared merge lays the fresh regions out contiguously after the
+        header (prefix sums) — producing a single manifest for the file.
+        Each member then issues one collective write of its fresh region;
+        the group's rank 0 writes the manifest.
+        """
+        from .incremental import (Manifest, plan_section, shift_fresh, stats,
+                                  write_manifest)
+
+        eng = ctx.engine
+        cache = self._cache(ctx)
+        parent = cache.get("delta_parent")  # (step, shifted section) | None
+        plan = plan_section(
+            data.concatenated_payload(), data.field_sizes, member=comm.rank,
+            step=step, params=self.chunking,
+            parent_section=parent[1] if parent else None)
+        # Chunking + hashing is one pass over the member's image.
+        yield eng.timeout(data.total_bytes / ctx.config.memory_bandwidth)
+        header_bytes = data.header_bytes
+        parent_step = parent[0] if parent else None
+        chunking = self.chunking
+        strategy_name = self.name
+
+        def merge(entries):
+            bases = []
+            sections = []
+            pos = header_bytes
+            for sec, fresh_bytes in entries:
+                bases.append(pos)
+                sections.append(shift_fresh(sec, step, pos))
+                pos += fresh_bytes
+            manifest = Manifest(
+                strategy=strategy_name, step=step, parent=parent_step,
+                header_bytes=header_bytes, chunking=chunking,
+                sections=tuple(sections))
+            return manifest, tuple(bases), pos
+
+        manifest, bases, _total = yield from comm.allgather(
+            (plan.section, plan.fresh_bytes),
+            nbytes=16 + 48 * len(plan.section.chunks), map_fn=merge)
+        path = self.file_path(basedir, step, self.group_of(ctx.rank))
+        f = yield from MPIFile.open(ctx, comm, path, hints=self.hints)
+        if header_bytes:
+            if comm.rank == 0:
+                yield from f.write_at_all(0, header_bytes,
+                                          payload=zeros(header_bytes))
+            else:
+                yield from f.write_at_all(0, 0)
+        yield from f.write_at_all(bases[comm.rank], plan.fresh_bytes,
+                                  payload=plan.fresh)
+        yield from f.close()
+        to_pfs = plan.fresh_bytes
+        if comm.rank == 0:
+            manifest_bytes = yield from write_manifest(ctx, manifest, path)
+            to_pfs += header_bytes + manifest_bytes
+        cache["delta_parent"] = (step, manifest.section_for(comm.rank))
+        stats.record_commit(data.total_bytes, to_pfs, plan.hits, plan.misses)
+        t_end = eng.now
+        return self._report(ctx, "collective", t0, t_end, t_end,
+                            data.total_bytes)
+
     # -- restore ----------------------------------------------------------
     def restore(self, ctx: RankContext, template: CheckpointData, step: int,
                 basedir: str = "/ckpt"):
         """Generator: read this rank's blocks back from the group file."""
+        if self.delta != "off":
+            from .incremental import manifest_exists
+            group = self.group_of(ctx.rank)
+            if manifest_exists(ctx, self.file_path(basedir, step, group)):
+                member = (ctx.rank if self.ranks_per_file is None
+                          else ctx.rank % self.ranks_per_file)
+                return (yield from self._delta_restore(
+                    ctx, template, step, member=member,
+                    path_of=lambda s: self.file_path(basedir, s, group)))
         comm = yield from self._iocomm(ctx)
         layout: FileLayout = yield from comm.allgather(
             list(template.field_sizes), nbytes=8 * template.n_fields,

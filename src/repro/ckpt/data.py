@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 
 from ..buffers import ByteRope, BytesLike
 
-__all__ = ["Field", "CheckpointData"]
+__all__ = ["Field", "CheckpointData", "EvolvingData", "BoundEvolvingData"]
 
 
 @dataclass(frozen=True)
@@ -146,3 +146,125 @@ class CheckpointData:
             f"<CheckpointData {self.n_fields} fields, "
             f"{self.total_bytes} B{' +payload' if self.has_payload else ''}>"
         )
+
+
+class EvolvingData:
+    """Per-step-evolving checkpoint data (incremental workloads).
+
+    Wraps ``fn(rank, step) -> CheckpointData``: the runner binds it per
+    rank and materializes each step's state just before checkpointing it,
+    so successive generations genuinely differ — the workload incremental
+    checkpointing exists for.  The field *layout* (names, sizes, header)
+    must not change across steps; only payload bytes evolve.
+
+    See :meth:`mutating` for the standard synthetic workload: a seeded
+    initial state with one contiguous pseudo-random region overwritten per
+    step.
+    """
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def bind(self, rank: int) -> "BoundEvolvingData":
+        return BoundEvolvingData(self, rank)
+
+    @classmethod
+    def mutating(cls, points_per_rank: int, mutated_fraction: float = 0.25,
+                 seed: int = 0, header_bytes: int = 4096) -> "EvolvingData":
+        """A NekCEM-shaped payload workload that mutates per step.
+
+        Step 0 is seeded pseudo-random state; each later step overwrites
+        one contiguous region covering ``mutated_fraction`` of the
+        concatenated payload (start position pseudo-random per
+        ``(seed, rank, step)``, wrapping at the end) with fresh random
+        bytes.  One region — not one per field — so the change surface
+        matches the mutated fraction instead of being multiplied by
+        chunk-boundary overhead at every field seam.
+        """
+        import numpy as np
+
+        if not 0.0 <= mutated_fraction <= 1.0:
+            raise ValueError(
+                f"mutated_fraction must be in [0, 1], got {mutated_fraction}")
+        shape = CheckpointData.nekcem_like(points_per_rank,
+                                           header_bytes=header_bytes)
+        sizes = shape.field_sizes
+        names = [f.name for f in shape.fields]
+        total = shape.total_bytes
+        mut_len = int(total * mutated_fraction)
+
+        def advance(state: "np.ndarray", rank: int, step: int
+                    ) -> "np.ndarray":
+            if step == 0:
+                rng = np.random.default_rng((seed, rank))
+                return rng.integers(0, 256, size=total, dtype=np.uint8)
+            if mut_len == 0:
+                return state
+            rng = np.random.default_rng((seed, rank, step))
+            start = int(rng.integers(0, total))
+            fresh = rng.integers(0, 256, size=mut_len, dtype=np.uint8)
+            out = state.copy()
+            end = start + mut_len
+            if end <= total:
+                out[start:end] = fresh
+            else:
+                out[start:] = fresh[: total - start]
+                out[: end - total] = fresh[total - start :]
+            return out
+
+        def fields_of(state: "np.ndarray") -> CheckpointData:
+            blob = state.tobytes()
+            fields = []
+            pos = 0
+            for name, nbytes in zip(names, sizes):
+                fields.append(Field(name, nbytes, blob[pos : pos + nbytes]))
+                pos += nbytes
+            return CheckpointData(fields, header_bytes=header_bytes)
+
+        return cls(_MutatingFn(advance, fields_of))
+
+
+class _MutatingFn:
+    """Stateful ``(rank, step) -> CheckpointData`` for cumulative mutation.
+
+    Keeps only the current state array per rank and advances it forward;
+    a request for an earlier step replays from step 0.  This bounds RAM to
+    one state per bound rank instead of one per (rank, step).
+    """
+
+    def __init__(self, advance, fields_of) -> None:
+        self._advance = advance
+        self._fields_of = fields_of
+        self._state: dict[int, tuple[int, object]] = {}
+
+    def __call__(self, rank: int, step: int) -> CheckpointData:
+        cached = self._state.get(rank)
+        if cached is None or cached[0] > step:
+            at, state = -1, None
+        else:
+            at, state = cached
+        while at < step:
+            at += 1
+            state = self._advance(state, rank, at)
+        self._state[rank] = (at, state)
+        return self._fields_of(state)
+
+
+class BoundEvolvingData:
+    """One rank's view of an :class:`EvolvingData` workload."""
+
+    def __init__(self, source: EvolvingData, rank: int) -> None:
+        self.source = source
+        self.rank = rank
+
+    def at_step(self, step: int) -> CheckpointData:
+        """This rank's state as of ``step`` (fresh CheckpointData)."""
+        return self.source.fn(self.rank, step)
+
+    def template(self) -> CheckpointData:
+        """A layout template (step-0 state) for restore paths."""
+        return self.at_step(0)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.template().total_bytes

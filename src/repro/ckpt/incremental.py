@@ -1,0 +1,640 @@
+"""Incremental content-addressed checkpointing over the ByteRope.
+
+Checkpoint generations are highly redundant between steps: a solver that
+mutates a quarter of its state per step still rewrites every byte of every
+generation under the paper's strategies.  This module provides the shared
+machinery that lets every strategy ship only the *changed* chunks:
+
+- **Content-defined chunking** — a windowed Gear rolling hash computed
+  vectorized over :class:`~repro.buffers.ByteRope` segments (carry-in of
+  the previous window tail, no flat materialization), with min/avg/max
+  chunk-size bounds.  Boundaries depend only on content, so an edit moves
+  at most the chunks it touches: the suffix re-aligns after one window.
+- **Content addressing** — each chunk carries a CRC32 and a 128-bit
+  BLAKE2b digest, both computed segment-iteratively over the rope.
+- **Versioned manifests** — every delta generation writes a canonical-JSON
+  manifest next to its data file: the full chunk list (including where
+  each chunk's bytes live — ``(src_step, src_offset)`` into that
+  generation's file), the parent generation, the strategy, and the member
+  layout.  Manifests are *self-contained*: restoring generation ``k``
+  needs only ``k``'s manifest plus the data files it references.
+- **Delta planning** — :func:`plan_section` chunks a member's payload,
+  looks every chunk up in the parent manifest by ``(digest, length)``, and
+  returns the fresh chunks packed as a zero-copy rope plus the manifest
+  section describing the whole generation.
+- **Delta-chain restore** — :func:`read_plan` merges a section's chunks
+  into maximal contiguous read runs per source generation;
+  :func:`assemble_section` reassembles the member payload from the run
+  data and verifies every chunk's CRC32, rejecting any bit-flip.
+
+Accounting lives in the module-level :data:`stats`
+(``bytes_logical`` / ``bytes_to_pfs`` / ``chunk_hits`` / ``chunk_misses``),
+surfaced through ``Engine.counters()`` and ``DarshanProfiler.summary()``.
+
+Strategies expose all of this behind the ``delta="off"|"auto"|"require"``
+knob (:meth:`~repro.ckpt.CheckpointStrategy.configure_delta`); full-write
+stays the paper-fidelity default.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..buffers import ByteRope
+from ..faults import UnrecoverableCheckpointError
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "GEAR_WINDOW",
+    "ManifestError",
+    "ChunkingParams",
+    "ChunkRef",
+    "ManifestSection",
+    "Manifest",
+    "SectionPlan",
+    "ReadRun",
+    "DeltaStats",
+    "stats",
+    "chunk_boundaries",
+    "chunk_spans",
+    "chunk_digest",
+    "plan_section",
+    "shift_fresh",
+    "read_plan",
+    "assemble_section",
+    "manifest_path",
+    "write_manifest",
+    "read_manifest",
+    "manifest_exists",
+]
+
+#: On-disk manifest schema version; unknown versions are rejected so a
+#: future format change can never silently mis-restore old checkpoints.
+MANIFEST_VERSION = 1
+
+#: Rolling-hash window: a boundary decision looks at this many bytes, so
+#: chunk boundaries re-align at most one window after any edit.
+GEAR_WINDOW = 32
+
+#: The Gear table: 256 pseudo-random 64-bit words, fixed forever (chunk
+#: boundaries are part of the on-disk format's stability contract).
+_GEAR = np.random.default_rng(0x47454152).integers(
+    0, 1 << 64, size=256, dtype=np.uint64)
+
+
+class ManifestError(UnrecoverableCheckpointError):
+    """A manifest is unreadable, unparsable, or from an unknown schema.
+
+    Subclasses :class:`~repro.faults.UnrecoverableCheckpointError` so the
+    resilient restore's voting treats a damaged manifest exactly like a
+    damaged data file: the generation is rejected and every rank falls
+    back together.
+    """
+
+
+@dataclass(frozen=True)
+class ChunkingParams:
+    """Content-defined chunking bounds.
+
+    ``avg_size`` must be a power of two (the boundary condition masks the
+    rolling hash with ``avg_size - 1``); ``min_size`` suppresses boundary
+    candidates too close to the previous cut, ``max_size`` forces one.
+    """
+
+    min_size: int = 2048
+    avg_size: int = 8192
+    max_size: int = 32768
+
+    def __post_init__(self) -> None:
+        if not (0 < self.min_size <= self.avg_size <= self.max_size):
+            raise ValueError(
+                f"need 0 < min <= avg <= max, got {self.min_size}/"
+                f"{self.avg_size}/{self.max_size}")
+        if self.avg_size & (self.avg_size - 1):
+            raise ValueError(f"avg_size must be a power of two, "
+                             f"got {self.avg_size}")
+
+    @property
+    def mask(self) -> int:
+        return self.avg_size - 1
+
+    def to_dict(self) -> dict:
+        return {"min": self.min_size, "avg": self.avg_size,
+                "max": self.max_size}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChunkingParams":
+        return cls(min_size=d["min"], avg_size=d["avg"], max_size=d["max"])
+
+
+# ---------------------------------------------------------------------------
+# Content-defined chunking
+# ---------------------------------------------------------------------------
+
+def _candidate_positions(rope: ByteRope, mask: int) -> np.ndarray:
+    """Boundary candidates: positions ``p`` where the windowed Gear hash of
+    ``rope[:p]``'s last :data:`GEAR_WINDOW` bytes satisfies the mask.
+
+    Processes the rope segment by segment; the previous segment's tail of
+    Gear words carries in so positions near a segment seam hash exactly as
+    they would in the flat byte stream.  No payload bytes are copied.
+    """
+    w = GEAR_WINDOW
+    m = np.uint64(mask)
+    out: list[np.ndarray] = []
+    tail = np.zeros(w - 1, dtype=np.uint64)
+    pos = 0
+    for seg in rope.iter_segments():
+        g = _GEAR[np.frombuffer(seg, dtype=np.uint8)]
+        n = len(g)
+        ext = np.concatenate([tail, g])
+        acc = np.zeros(n, dtype=np.uint64)
+        for j in range(w):
+            # h[i] = sum_{j<w} GEAR[b[i-j]] << j  (uint64 wraparound)
+            acc += ext[w - 1 - j : w - 1 - j + n] << np.uint64(j)
+        hits = np.nonzero((acc & m) == m)[0]
+        if len(hits):
+            # A candidate *after* byte i cuts at absolute position i + 1.
+            out.append(hits.astype(np.int64) + (pos + 1))
+        tail = ext[n:]
+        pos += n
+    if not out:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(out)
+
+
+def chunk_boundaries(rope: ByteRope, params: Optional[ChunkingParams] = None
+                     ) -> list[int]:
+    """Chunk cut positions (exclusive ends) for ``rope``, last == len.
+
+    Candidates closer than ``min_size`` to the previous cut are skipped;
+    a run longer than ``max_size`` without a candidate is cut at exactly
+    ``max_size``.  The final (tail) chunk may be shorter than ``min_size``.
+    """
+    params = params or ChunkingParams()
+    n = len(rope)
+    if n == 0:
+        return []
+    cuts: list[int] = []
+    start = 0
+    for c in _candidate_positions(rope, params.mask).tolist():
+        while c - start > params.max_size:
+            start += params.max_size
+            cuts.append(start)
+        if c - start >= params.min_size:
+            cuts.append(c)
+            start = c
+    while n - start > params.max_size:
+        start += params.max_size
+        cuts.append(start)
+    if start < n:
+        cuts.append(n)
+    return cuts
+
+
+def chunk_spans(rope: ByteRope, params: Optional[ChunkingParams] = None
+                ) -> list[tuple[int, int]]:
+    """``(lo, hi)`` spans of every chunk, tiling ``[0, len)`` exactly."""
+    lo = 0
+    spans = []
+    for hi in chunk_boundaries(rope, params):
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+def chunk_digest(rope: ByteRope) -> str:
+    """128-bit BLAKE2b content digest, fed segment by segment (no copy)."""
+    h = hashlib.blake2b(digest_size=16)
+    for seg in rope.iter_segments():
+        h.update(seg)
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Manifests
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """One chunk of a member's payload and where its bytes live on disk.
+
+    ``offset`` is the chunk's position within the member's *logical*
+    payload; ``(src_step, src_offset)`` point into the data file of the
+    generation that first wrote these bytes (``src_step == step`` for a
+    fresh chunk, an ancestor for a deduplicated one).
+    """
+
+    offset: int
+    length: int
+    crc: int
+    digest: str
+    src_step: int
+    src_offset: int
+
+    def to_list(self) -> list:
+        return [self.offset, self.length, self.crc, self.digest,
+                self.src_step, self.src_offset]
+
+    @classmethod
+    def from_list(cls, v: Sequence) -> "ChunkRef":
+        if len(v) != 6:
+            raise ManifestError(f"malformed chunk entry: {v!r}")
+        return cls(int(v[0]), int(v[1]), int(v[2]), str(v[3]),
+                   int(v[4]), int(v[5]))
+
+
+@dataclass(frozen=True)
+class ManifestSection:
+    """One member's chunk list within a generation's file.
+
+    ``member`` is the member's index within the file's communicator
+    (0 for 1PFPP's private files, the group rank for coIO/rbIO files,
+    the world rank for nf=1 shared files).
+    """
+
+    member: int
+    field_sizes: tuple[int, ...]
+    chunks: tuple[ChunkRef, ...]
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(c.length for c in self.chunks)
+
+    def digest_index(self) -> dict[tuple[str, int], tuple[int, int]]:
+        """``(digest, length) -> (src_step, src_offset)`` dedup lookup."""
+        return {(c.digest, c.length): (c.src_step, c.src_offset)
+                for c in self.chunks}
+
+    def to_dict(self) -> dict:
+        return {"member": self.member,
+                "field_sizes": list(self.field_sizes),
+                "chunks": [c.to_list() for c in self.chunks]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ManifestSection":
+        try:
+            return cls(
+                member=int(d["member"]),
+                field_sizes=tuple(int(s) for s in d["field_sizes"]),
+                chunks=tuple(ChunkRef.from_list(c) for c in d["chunks"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(f"malformed manifest section: {exc}") from None
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """A delta generation's complete description (one per data file)."""
+
+    strategy: str
+    step: int
+    parent: Optional[int]
+    header_bytes: int
+    chunking: ChunkingParams
+    sections: tuple[ManifestSection, ...]
+    version: int = MANIFEST_VERSION
+
+    def section_for(self, member: int) -> ManifestSection:
+        for s in self.sections:
+            if s.member == member:
+                return s
+        raise ManifestError(
+            f"manifest of step {self.step} has no section for member "
+            f"{member} (members: {[s.member for s in self.sections]})")
+
+    @property
+    def fresh_bytes(self) -> int:
+        """Bytes of chunk data this generation's file actually holds."""
+        return sum(c.length for s in self.sections for c in s.chunks
+                   if c.src_step == self.step)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "strategy": self.strategy,
+            "step": self.step,
+            "parent": self.parent,
+            "header_bytes": self.header_bytes,
+            "chunking": self.chunking.to_dict(),
+            "sections": [s.to_dict() for s in self.sections],
+        }
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization: key-sorted compact JSON + newline.
+
+        Byte-stable across processes and Python versions — the golden
+        manifest test pins it, so restore of old checkpoints survives
+        refactors.
+        """
+        return (json.dumps(self.to_dict(), sort_keys=True,
+                           separators=(",", ":")) + "\n").encode("ascii")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Manifest":
+        try:
+            d = json.loads(bytes(data))
+        except (ValueError, TypeError) as exc:
+            raise ManifestError(f"unparsable manifest: {exc}") from None
+        if not isinstance(d, dict) or "version" not in d:
+            raise ManifestError("manifest is not a versioned object")
+        if d["version"] != MANIFEST_VERSION:
+            raise ManifestError(
+                f"unsupported manifest version {d['version']!r} "
+                f"(this build reads version {MANIFEST_VERSION})")
+        try:
+            return cls(
+                strategy=str(d["strategy"]),
+                step=int(d["step"]),
+                parent=None if d["parent"] is None else int(d["parent"]),
+                header_bytes=int(d["header_bytes"]),
+                chunking=ChunkingParams.from_dict(d["chunking"]),
+                sections=tuple(ManifestSection.from_dict(s)
+                               for s in d["sections"]),
+            )
+        except ManifestError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(f"malformed manifest: {exc}") from None
+
+
+def manifest_path(data_path: str) -> str:
+    """The manifest written alongside a generation's data file."""
+    return data_path + ".manifest"
+
+
+# ---------------------------------------------------------------------------
+# Delta planning (checkpoint side)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SectionPlan:
+    """One member's delta plan: what to write, and how to describe it.
+
+    Fresh chunks' ``src_offset`` values are relative to the start of this
+    member's fresh region (base 0); the committer places the region in the
+    file and rebases with :func:`shift_fresh` — independent committers use
+    ``header_bytes``, collective committers a prefix sum over members.
+    """
+
+    section: ManifestSection
+    fresh: ByteRope
+    fresh_bytes: int
+    hits: int
+    misses: int
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.section.logical_bytes
+
+
+def plan_section(payload: ByteRope, field_sizes: Sequence[int], member: int,
+                 step: int, params: ChunkingParams,
+                 parent_section: Optional[ManifestSection] = None
+                 ) -> SectionPlan:
+    """Chunk ``payload``, dedup against the parent section, pack the rest.
+
+    Without a parent (generation 0, or the first delta generation after a
+    restart) every chunk is fresh and the file carries the full payload —
+    plus its manifest, which is what makes later generations cheap.
+    """
+    parent_index = (parent_section.digest_index()
+                    if parent_section is not None else {})
+    chunks: list[ChunkRef] = []
+    fresh_parts: list[ByteRope] = []
+    fresh_pos = 0
+    hits = misses = 0
+    for lo, hi in chunk_spans(payload, params):
+        piece = payload.slice(lo, hi)
+        digest = chunk_digest(piece)
+        crc = piece.crc32()
+        src = parent_index.get((digest, hi - lo))
+        if src is not None:
+            hits += 1
+            chunks.append(ChunkRef(lo, hi - lo, crc, digest, src[0], src[1]))
+        else:
+            misses += 1
+            chunks.append(ChunkRef(lo, hi - lo, crc, digest, step, fresh_pos))
+            fresh_parts.append(piece)
+            fresh_pos += hi - lo
+    section = ManifestSection(member=member,
+                              field_sizes=tuple(int(s) for s in field_sizes),
+                              chunks=tuple(chunks))
+    return SectionPlan(section=section, fresh=ByteRope.concat(fresh_parts),
+                       fresh_bytes=fresh_pos, hits=hits, misses=misses)
+
+
+def shift_fresh(section: ManifestSection, step: int, base: int
+                ) -> ManifestSection:
+    """Rebase the fresh chunks' file offsets by ``base`` (region placement)."""
+    if base == 0:
+        return section
+    return ManifestSection(
+        member=section.member,
+        field_sizes=section.field_sizes,
+        chunks=tuple(
+            ChunkRef(c.offset, c.length, c.crc, c.digest, c.src_step,
+                     c.src_offset + base) if c.src_step == step else c
+            for c in section.chunks),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Delta-chain restore
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReadRun:
+    """One maximal contiguous read from one source generation's file."""
+
+    src_step: int
+    offset: int
+    length: int
+    chunks: tuple[ChunkRef, ...]
+
+
+def read_plan(section: ManifestSection) -> list[ReadRun]:
+    """Merge a section's chunks into per-generation contiguous read runs.
+
+    Chunks are grouped by source generation and sorted by file offset;
+    adjacent spans merge, so a generation written as one packed fresh
+    region reads back as one run regardless of how many chunks it holds.
+    """
+    by_step: dict[int, list[ChunkRef]] = {}
+    for c in section.chunks:
+        by_step.setdefault(c.src_step, []).append(c)
+    runs: list[ReadRun] = []
+    for src_step in sorted(by_step):
+        group = sorted(by_step[src_step], key=lambda c: c.src_offset)
+        cur: list[ChunkRef] = []
+        for c in group:
+            if cur and c.src_offset == cur[-1].src_offset + cur[-1].length:
+                cur.append(c)
+            else:
+                if cur:
+                    runs.append(ReadRun(src_step, cur[0].src_offset,
+                                        sum(x.length for x in cur),
+                                        tuple(cur)))
+                cur = [c]
+        if cur:
+            runs.append(ReadRun(src_step, cur[0].src_offset,
+                                sum(x.length for x in cur), tuple(cur)))
+    return runs
+
+
+def assemble_section(section: ManifestSection,
+                     run_data: Sequence[tuple[ReadRun, ByteRope]],
+                     step: int, path: str, rank: Optional[int] = None
+                     ) -> ByteRope:
+    """Reassemble a member's payload from read-run data, verifying CRCs.
+
+    Every chunk's CRC32 is recomputed over the bytes actually read; any
+    mismatch (bit-flip on disk, truncated source file) raises
+    :class:`~repro.faults.UnrecoverableCheckpointError` so the resilient
+    restore rejects the generation and falls back along the chain.
+    """
+    pieces: list[tuple[int, ByteRope]] = []
+    for run, rope in run_data:
+        if len(rope) != run.length:
+            raise UnrecoverableCheckpointError(
+                f"{path!r}: read {len(rope)} B of a {run.length} B chunk run "
+                f"from generation {run.src_step}", step=step, path=path,
+                rank=rank)
+        rel = 0
+        for c in run.chunks:
+            piece = rope.slice(rel, rel + c.length)
+            if piece.crc32() != c.crc:
+                raise UnrecoverableCheckpointError(
+                    f"{path!r}: chunk at payload offset {c.offset} "
+                    f"(source generation {c.src_step}) failed its CRC32",
+                    step=step, path=path, rank=rank)
+            pieces.append((c.offset, piece))
+            rel += c.length
+    pieces.sort(key=lambda p: p[0])
+    expected = sum(section.field_sizes)
+    pos = 0
+    parts = []
+    for off, piece in pieces:
+        if off != pos:
+            raise UnrecoverableCheckpointError(
+                f"{path!r}: manifest chunks do not tile the payload "
+                f"(gap at offset {pos})", step=step, path=path, rank=rank)
+        parts.append(piece)
+        pos += len(piece)
+    if pos != expected:
+        raise UnrecoverableCheckpointError(
+            f"{path!r}: manifest covers {pos} B, member payload is "
+            f"{expected} B", step=step, path=path, rank=rank)
+    return ByteRope.concat(parts)
+
+
+# ---------------------------------------------------------------------------
+# Manifest I/O (simulated file system)
+# ---------------------------------------------------------------------------
+
+def write_manifest(ctx, manifest: Manifest, data_path: str):
+    """Generator: write a manifest next to its data file (with FS retry).
+
+    Returns the number of bytes written (manifest overhead accounting).
+    """
+    from ..faults.retry import retry_fs
+
+    blob = manifest.to_bytes()
+    path = manifest_path(data_path)
+    eng = ctx.engine
+    handle = yield from retry_fs(eng, lambda: ctx.fs.create(path))
+    yield from retry_fs(
+        eng, lambda: ctx.fs.write(handle, 0, len(blob),
+                                  payload=ByteRope.wrap(blob)))
+    yield from ctx.fs.close(handle)
+    return len(blob)
+
+
+def manifest_exists(ctx, data_path: str) -> bool:
+    """Whether a generation wrote a manifest (the delta-vs-full probe)."""
+    return ctx.fs.fs.exists(manifest_path(data_path))
+
+
+def read_manifest(ctx, data_path: str, step: int):
+    """Generator: read and parse the manifest of ``data_path``.
+
+    Raises :class:`ManifestError` (an
+    :class:`~repro.faults.UnrecoverableCheckpointError`) when the blob is
+    damaged, so resilient restores vote the generation down.
+    """
+    path = manifest_path(data_path)
+    handle = yield from ctx.fs.open(path)
+    blob = yield from ctx.fs.read(handle, 0, handle.file.size)
+    yield from ctx.fs.close(handle)
+    if blob is None:
+        raise ManifestError(f"{path!r} holds no manifest payload",
+                            step=step, path=path, rank=ctx.rank)
+    manifest = Manifest.from_bytes(bytes(ByteRope.wrap(blob)))
+    if manifest.step != step:
+        raise ManifestError(
+            f"{path!r} describes step {manifest.step}, expected {step}",
+            step=step, path=path, rank=ctx.rank)
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# Accounting
+# ---------------------------------------------------------------------------
+
+class DeltaStats:
+    """Process-wide incremental-checkpointing counters.
+
+    ``bytes_logical`` counts the application state a delta commit covered;
+    ``bytes_to_pfs`` the bytes it actually shipped (header + fresh chunks
+    + manifest).  ``chunk_hits`` / ``chunk_misses`` count parent-manifest
+    dedup outcomes.  Full-write (``delta="off"``) commits touch none of
+    these — the counters isolate the incremental subsystem's effect.
+    """
+
+    __slots__ = ("bytes_logical", "bytes_to_pfs", "chunk_hits",
+                 "chunk_misses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.bytes_logical = 0
+        self.bytes_to_pfs = 0
+        self.chunk_hits = 0
+        self.chunk_misses = 0
+
+    def record_commit(self, logical: int, to_pfs: int, hits: int,
+                      misses: int) -> None:
+        self.bytes_logical += logical
+        self.bytes_to_pfs += to_pfs
+        self.chunk_hits += hits
+        self.chunk_misses += misses
+
+    def snapshot(self) -> dict:
+        return {
+            "bytes_logical": self.bytes_logical,
+            "bytes_to_pfs": self.bytes_to_pfs,
+            "chunk_hits": self.chunk_hits,
+            "chunk_misses": self.chunk_misses,
+        }
+
+
+#: The module-wide counter instance every delta commit reports to.
+stats = DeltaStats()
+
+
+def crc32_concat(parts) -> int:
+    """CRC32 over a sequence of bytes-likes without joining them."""
+    value = 0
+    for p in parts:
+        if isinstance(p, ByteRope):
+            value = p.crc32(value)
+        else:
+            value = zlib.crc32(p, value) & 0xFFFFFFFF
+    return value & 0xFFFFFFFF

@@ -58,6 +58,9 @@ class OneFilePerProcess(CheckpointStrategy):
             rng = ctx.job.streams.stream("ckpt.jitter")
             yield eng.timeout(float(rng.random()) * self.arrival_jitter)
         path = self.rank_path(basedir, step, ctx.rank)
+        if self._delta_active(data):
+            return (yield from self._checkpoint_delta(ctx, data, step, path,
+                                                      t0))
         handle = yield from retry_fs(eng, lambda: ctx.fs.create(path))
         # POSIX stream write: header and fields leave the node as one
         # buffered sequential burst.
@@ -72,10 +75,56 @@ class OneFilePerProcess(CheckpointStrategy):
         t_end = eng.now
         return self._report(ctx, "independent", t0, t_end, t_end, data.total_bytes)
 
+    def _checkpoint_delta(self, ctx: RankContext, data: CheckpointData,
+                          step: int, path: str, t0: float):
+        """Generator: write only chunks absent from the parent generation.
+
+        The file holds ``[header][fresh chunks, packed]``; the manifest
+        written alongside maps every logical chunk to the generation and
+        offset that holds its bytes.
+        """
+        from .incremental import (Manifest, plan_section, shift_fresh, stats,
+                                  write_manifest)
+
+        eng = ctx.engine
+        cache = self._cache(ctx)
+        parent = cache.get("delta_parent")  # (step, shifted section) | None
+        plan = plan_section(
+            data.concatenated_payload(), data.field_sizes, member=0,
+            step=step, params=self.chunking,
+            parent_section=parent[1] if parent else None)
+        # Chunking + hashing is one pass over the image.
+        yield eng.timeout(data.total_bytes / ctx.config.memory_bandwidth)
+        section = shift_fresh(plan.section, step, data.header_bytes)
+        manifest = Manifest(
+            strategy=self.name, step=step,
+            parent=parent[0] if parent else None,
+            header_bytes=data.header_bytes, chunking=self.chunking,
+            sections=(section,))
+        handle = yield from retry_fs(eng, lambda: ctx.fs.create(path))
+        total = data.header_bytes + plan.fresh_bytes
+        payload = ByteRope.concat([zeros(data.header_bytes), plan.fresh])
+        yield from retry_fs(
+            eng, lambda: ctx.fs.write(handle, 0, total, payload=payload))
+        yield from ctx.fs.close(handle)
+        manifest_bytes = yield from write_manifest(ctx, manifest, path)
+        cache["delta_parent"] = (step, section)
+        stats.record_commit(data.total_bytes, total + manifest_bytes,
+                            plan.hits, plan.misses)
+        t_end = eng.now
+        return self._report(ctx, "independent", t0, t_end, t_end,
+                            data.total_bytes)
+
     def restore(self, ctx: RankContext, template: CheckpointData, step: int,
                 basedir: str = "/ckpt"):
         """Generator: read this rank's fields back from its private file."""
         path = self.rank_path(basedir, step, ctx.rank)
+        if self.delta != "off":
+            from .incremental import manifest_exists
+            if manifest_exists(ctx, path):
+                return (yield from self._delta_restore(
+                    ctx, template, step, member=0,
+                    path_of=lambda s: self.rank_path(basedir, s, ctx.rank)))
         handle = yield from ctx.fs.open(path)
         expected = template.header_bytes + template.total_bytes
         if handle.file.size != expected:

@@ -307,11 +307,30 @@ class ReducedBlockingIO(CheckpointStrategy):
         dead_writers = [w for w in self.writer_ranks(n_ranks)
                         if inj.dead_at(w, now)]
         if not self.single_file:
-            yield from self._commit_private(ctx, layout, image, step, basedir)
+            # Delta commits describe a *complete* group; a group missing a
+            # dead member's block falls back to the plain (rejectable)
+            # full write so restore voting skips it.
+            if self._delta_active(data) and not dead_members:
+                yield from self._commit_private_delta(
+                    ctx, cache, member_sizes, member_payloads,
+                    data.header_bytes, step, basedir)
+            else:
+                yield from self._commit_private(ctx, layout, image, step,
+                                                basedir)
         elif not dead_writers:
-            yield from self._commit_shared(ctx, cache["wcomm"], layout,
-                                           member_sizes, member_payloads,
-                                           data.header_bytes, step, basedir)
+            # nf=1: the writers' delta collectives must all agree, so delta
+            # requires every rank of the world alive (each writer evaluates
+            # the same oracle at the same post-barrier instant).
+            if self._delta_active(data) and not any(
+                    inj.dead_at(r, now) for r in range(n_ranks)):
+                yield from self._commit_shared_delta(
+                    ctx, cache, member_sizes, member_payloads,
+                    data.header_bytes, step, basedir)
+            else:
+                yield from self._commit_shared(ctx, cache["wcomm"], layout,
+                                               member_sizes, member_payloads,
+                                               data.header_bytes, step,
+                                               basedir)
         # nf=1 with a dead writer: the writers' collective can never
         # complete, so survivors skip this generation's shared commit
         # entirely (restore falls back past it) but still ack their group.
@@ -430,7 +449,16 @@ class ReducedBlockingIO(CheckpointStrategy):
         layout, image, member_sizes, member_payloads = yield from \
             self._gather_group(ctx, gcomm, data, step)
 
-        if not self.single_file:
+        if self._delta_active(data):
+            if not self.single_file:
+                yield from self._commit_private_delta(
+                    ctx, cache, member_sizes, member_payloads,
+                    data.header_bytes, step, basedir)
+            else:
+                yield from self._commit_shared_delta(
+                    ctx, cache, member_sizes, member_payloads,
+                    data.header_bytes, step, basedir)
+        elif not self.single_file:
             yield from self._commit_private(ctx, layout, image, step, basedir)
         else:
             yield from self._commit_shared(ctx, cache["wcomm"], layout,
@@ -503,6 +531,140 @@ class ReducedBlockingIO(CheckpointStrategy):
             pos += burst
         yield from f.close()
 
+    def _plan_group_delta(self, member_sizes, member_payloads, step: int,
+                          parent_secs: dict, member_ids):
+        """Plan every member's delta against its cached parent section.
+
+        Fresh regions are packed sequentially (relative base 0); returns
+        ``(sections, fresh_parts, fresh_total, hits, misses)``.
+        """
+        from .incremental import plan_section, shift_fresh
+
+        sections = []
+        fresh_parts = []
+        fresh_total = 0
+        hits = misses = 0
+        for member, sizes, payload in zip(member_ids, member_sizes,
+                                          member_payloads):
+            plan = plan_section(
+                ByteRope.wrap(payload), sizes, member=member, step=step,
+                params=self.chunking, parent_section=parent_secs.get(member))
+            sections.append(shift_fresh(plan.section, step, fresh_total))
+            fresh_total += plan.fresh_bytes
+            if plan.fresh_bytes:
+                fresh_parts.append(plan.fresh)
+            hits += plan.hits
+            misses += plan.misses
+        return sections, fresh_parts, fresh_total, hits, misses
+
+    def _commit_private_delta(self, ctx: RankContext, cache: dict,
+                              member_sizes, member_payloads,
+                              header_bytes: int, step: int, basedir: str):
+        """nf=ng delta: the writer's file holds only its group's fresh chunks.
+
+        Layout is ``[header][member 0 fresh][member 1 fresh]...`` (packed,
+        member-major — delta files carry no field-major sections; the
+        manifest, not a fixed layout, is what restore walks).  Workers
+        still send full packages (the fast path is untouched); dedup is
+        writer-side against the previous generation's manifest.
+        """
+        from .incremental import Manifest, shift_fresh, stats, write_manifest
+
+        eng = ctx.engine
+        group = self.group_of(ctx.rank)
+        parents = cache.get("delta_parent")  # (step, {member: section})
+        parent_step = parents[0] if parents else None
+        parent_secs = parents[1] if parents else {}
+        group_bytes = sum(sum(s) for s in member_sizes)
+        sections, fresh_parts, fresh_total, hits, misses = \
+            self._plan_group_delta(member_sizes, member_payloads, step,
+                                   parent_secs, range(len(member_sizes)))
+        # Chunking + hashing: one more pass over the aggregation buffer.
+        yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
+        sections = [shift_fresh(s, step, header_bytes) for s in sections]
+        manifest = Manifest(
+            strategy=self.name, step=step, parent=parent_step,
+            header_bytes=header_bytes, chunking=self.chunking,
+            sections=tuple(sections))
+        parts = [zeros(header_bytes)] if header_bytes else []
+        image = ByteRope.concat(parts + fresh_parts)
+        total = header_bytes + fresh_total
+        path = self.file_path(basedir, step, group)
+        f = yield from MPIFile.open_independent(ctx, path, hints=self.hints)
+        pos = 0
+        while pos < total:
+            burst = min(self.writer_buffer, total - pos)
+            yield from f.write_at(pos, burst, payload=image[pos : pos + burst])
+            pos += burst
+        yield from f.close()
+        manifest_bytes = yield from write_manifest(ctx, manifest, path)
+        cache["delta_parent"] = (step, {s.member: s for s in sections})
+        stats.record_commit(group_bytes, total + manifest_bytes, hits, misses)
+
+    def _commit_shared_delta(self, ctx: RankContext, cache: dict,
+                             member_sizes, member_payloads,
+                             header_bytes: int, step: int, basedir: str):
+        """nf=1 delta: writers collectively append their fresh regions.
+
+        The writers allgather ``(sections, fresh_bytes)`` and one shared
+        merge places each writer's fresh region by prefix sum, producing a
+        single manifest (members keyed by world rank) written by writer 0.
+        """
+        from .incremental import Manifest, shift_fresh, stats, write_manifest
+
+        eng = ctx.engine
+        wcomm = cache["wcomm"]
+        base_rank = self.group_of(ctx.rank) * self.workers_per_writer
+        parents = cache.get("delta_parent")
+        parent_step = parents[0] if parents else None
+        parent_secs = parents[1] if parents else {}
+        group_bytes = sum(sum(s) for s in member_sizes)
+        member_ids = [base_rank + m for m in range(len(member_sizes))]
+        sections, fresh_parts, fresh_total, hits, misses = \
+            self._plan_group_delta(member_sizes, member_payloads, step,
+                                   parent_secs, member_ids)
+        yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
+        chunking = self.chunking
+        strategy_name = self.name
+
+        def merge(entries):
+            bases = []
+            all_sections = []
+            pos = header_bytes
+            for secs, fresh_bytes in entries:
+                bases.append(pos)
+                all_sections.extend(shift_fresh(s, step, pos) for s in secs)
+                pos += fresh_bytes
+            manifest = Manifest(
+                strategy=strategy_name, step=step, parent=parent_step,
+                header_bytes=header_bytes, chunking=chunking,
+                sections=tuple(all_sections))
+            return manifest, tuple(bases), pos
+
+        manifest, bases, _total = yield from wcomm.allgather(
+            (tuple(sections), fresh_total),
+            nbytes=16 + 48 * sum(len(s.chunks) for s in sections),
+            map_fn=merge)
+        path = self.shared_path(basedir, step)
+        f = yield from MPIFile.open(ctx, wcomm, path, hints=self.hints)
+        if header_bytes:
+            if wcomm.rank == 0:
+                yield from f.write_at_all(0, header_bytes,
+                                          payload=zeros(header_bytes))
+            else:
+                yield from f.write_at_all(0, 0)
+        yield from f.write_at_all(bases[wcomm.rank], fresh_total,
+                                  payload=ByteRope.concat(fresh_parts))
+        yield from f.close()
+        to_pfs = fresh_total
+        if wcomm.rank == 0:
+            manifest_bytes = yield from write_manifest(ctx, manifest, path)
+            to_pfs += header_bytes + manifest_bytes
+        mine = set(member_ids)
+        cache["delta_parent"] = (step, {
+            s.member: s for s in manifest.sections if s.member in mine})
+        stats.record_commit(group_bytes, to_pfs, hits, misses)
+
     def _commit_shared(self, ctx: RankContext, wcomm, layout: FileLayout,
                        member_sizes: list[tuple[int, ...]],
                        member_payloads: list[Optional[bytes]],
@@ -557,6 +719,19 @@ class ReducedBlockingIO(CheckpointStrategy):
     def restore(self, ctx: RankContext, template: CheckpointData, step: int,
                 basedir: str = "/ckpt"):
         """Generator: read this rank's blocks back from its group's file."""
+        if self.delta != "off":
+            from .incremental import manifest_exists
+            if self.single_file:
+                member = ctx.rank
+                path_of = lambda s: self.shared_path(basedir, s)  # noqa: E731
+            else:
+                group = self.group_of(ctx.rank)
+                member = ctx.rank % self.workers_per_writer
+                path_of = (  # noqa: E731
+                    lambda s: self.file_path(basedir, s, group))
+            if manifest_exists(ctx, path_of(step)):
+                return (yield from self._delta_restore(
+                    ctx, template, step, member=member, path_of=path_of))
         cache = yield from self._setup(ctx)
         gcomm = cache["gcomm"]
         member = gcomm.rank

@@ -30,6 +30,12 @@ __all__ = [
 ]
 
 
+def _check_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
 def checkpoint_ratio(t_checkpoint: float, t_computation_step: float) -> float:
     """Fig. 7 metric: checkpoint time per I/O step over compute time per step."""
     if t_computation_step <= 0:
@@ -200,3 +206,55 @@ class CheckpointSchedule:
         nc = max(1, round(interval / t_computation_step))
         return cls(nc=nc, t_computation_step=t_computation_step,
                    t_checkpoint=t_checkpoint)
+
+    @staticmethod
+    def daly_interval(t_checkpoint: float, mtbf: float) -> float:
+        """Daly's higher-order optimum (reduces to Young for small Tc/MTBF).
+
+        Uses Daly's perturbation solution
+        ``sqrt(2 Tc M) * (1 + sqrt(Tc/(2M))/3 + Tc/(9*2M)) - Tc`` for
+        ``Tc < 2M`` and the degenerate ``interval = M`` otherwise.
+        """
+        _check_positive(t_checkpoint=t_checkpoint, mtbf=mtbf)
+        if t_checkpoint >= 2.0 * mtbf:
+            return mtbf
+        x = t_checkpoint / (2.0 * mtbf)
+        return (math.sqrt(2.0 * t_checkpoint * mtbf)
+                * (1.0 + math.sqrt(x) / 3.0 + x / 9.0) - t_checkpoint)
+
+    @staticmethod
+    def young_interval_incremental(t_full_checkpoint: float,
+                                   delta_fraction: float, mtbf: float,
+                                   manifest_overhead: float = 0.0) -> float:
+        """Young's interval when checkpoints are delta-sized.
+
+        With incremental checkpointing the per-checkpoint cost is no
+        longer the full-image write time but
+        ``t_full * delta_fraction + manifest_overhead`` — the fraction of
+        chunks that actually changed (amplified by chunk granularity; see
+        :func:`repro.model.effective_delta_fraction`) plus the fixed
+        header/manifest cost.  A smaller cost shortens the optimal
+        interval: checkpoint *more* often, lose less work per failure.
+        """
+        _check_positive(t_full_checkpoint=t_full_checkpoint, mtbf=mtbf)
+        if not 0.0 < delta_fraction <= 1.0:
+            raise ValueError(
+                f"delta_fraction must be in (0, 1], got {delta_fraction}")
+        if manifest_overhead < 0:
+            raise ValueError("negative manifest_overhead")
+        t_delta = t_full_checkpoint * delta_fraction + manifest_overhead
+        return math.sqrt(2.0 * t_delta * mtbf)
+
+    @classmethod
+    def young_incremental(cls, t_full_checkpoint: float,
+                          delta_fraction: float, t_computation_step: float,
+                          mtbf: float, manifest_overhead: float = 0.0
+                          ) -> "CheckpointSchedule":
+        """Schedule sized for delta writes (Young's rule on the delta cost)."""
+        t_delta = (t_full_checkpoint * delta_fraction + manifest_overhead)
+        interval = cls.young_interval_incremental(
+            t_full_checkpoint, delta_fraction, mtbf,
+            manifest_overhead=manifest_overhead)
+        nc = max(1, round(interval / t_computation_step))
+        return cls(nc=nc, t_computation_step=t_computation_step,
+                   t_checkpoint=t_delta)

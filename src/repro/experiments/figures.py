@@ -124,7 +124,7 @@ def _strategy_for(key: str, n_ranks: int):
     raise ValueError(f"unknown approach key {key!r}")
 
 
-def strategy_for(key: str, n_ranks: int):
+def strategy_for(key: str, n_ranks: int, delta: str = "off"):
     """Build the checkpoint strategy an approach key names (public hook).
 
     Accepts the five figure configurations, ``bbio``, and the Fig. 8
@@ -132,8 +132,15 @@ def strategy_for(key: str, n_ranks: int):
     The campaign compiler (:mod:`repro.campaign`) validates and expands
     specs through this same mapping so campaign runs are point-for-point
     identical to the figure sweeps.
+
+    ``delta`` enables incremental (content-defined-chunking) writes on
+    the returned strategy — ``"off"`` keeps the paper-fidelity full
+    write; see :meth:`repro.ckpt.CheckpointStrategy.configure_delta`.
     """
-    return _strategy_for(key, n_ranks)
+    strategy = _strategy_for(key, n_ranks)
+    if delta != "off":
+        strategy.configure_delta(delta)
+    return strategy
 
 
 def problem_for(n_ranks: int):

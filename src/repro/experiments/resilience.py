@@ -60,6 +60,9 @@ class ResilientCampaign:
 
 def _restore_main(ctx, strategy: CheckpointStrategy, data_fn, steps, basedir):
     template = data_fn(ctx.rank)
+    if hasattr(template, "template"):
+        # Evolving workloads: restore only needs the field layout.
+        template = template.template()
     yield from ctx.comm.barrier()  # coordinated restart start
     step, fields = yield from strategy.restore_resilient(
         ctx, template, steps, basedir=basedir)

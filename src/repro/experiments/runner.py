@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence, Union
 
 from ..ckpt import CheckpointData, CheckpointResult, CheckpointStrategy
+from ..ckpt.data import EvolvingData
 from ..ckpt.result import RankReport
 from ..faults import FaultSchedule, attach_faults
 from ..mpi import Job
@@ -21,7 +22,8 @@ from ..topology import MachineConfig, intrepid
 __all__ = ["CheckpointRun", "normalize_gaps", "run_checkpoint_step",
            "run_checkpoint_steps"]
 
-DataBuilder = Union[CheckpointData, Callable[[int], CheckpointData]]
+DataBuilder = Union[CheckpointData, EvolvingData,
+                    Callable[[int], CheckpointData]]
 
 #: Computation gaps between checkpoint steps: one uniform value, or one
 #: value per inter-step interval (``n_steps - 1`` of them).
@@ -71,9 +73,11 @@ class CheckpointRun:
         return self.job.services["fs"]
 
 
-def _data_fn(data: DataBuilder) -> Callable[[int], CheckpointData]:
+def _data_fn(data: DataBuilder):
     if isinstance(data, CheckpointData):
         return lambda _rank: data
+    if isinstance(data, EvolvingData):
+        return data.bind
     return data
 
 
@@ -104,17 +108,20 @@ def _rank_main(ctx, strategy: CheckpointStrategy, data_fn, steps: list[int],
             # barrier is what makes every rank evaluate the failure
             # oracle at the same instant.
             yield from ctx.comm.barrier()
+        # Evolving workloads materialize each step's state just before it
+        # is checkpointed (successive generations genuinely differ).
+        d = data.at_step(step) if hasattr(data, "at_step") else data
         if crash_t is not None and ctx.engine.now >= crash_t:
             # This rank is dead for the rest of the campaign.  It ghosts
             # through any collective setup (communicator splits) so the
             # survivors' collectives complete, but contributes no data.
-            yield from strategy.ghost(ctx, data, step, basedir)
+            yield from strategy.ghost(ctx, d, step, basedir)
             now = ctx.engine.now
             reports.append(RankReport(
                 rank=ctx.rank, role="crashed", t_start=now,
                 t_blocked_end=now, t_complete=now, bytes_local=0))
             continue
-        report = yield from strategy.checkpoint(ctx, data, step, basedir)
+        report = yield from strategy.checkpoint(ctx, d, step, basedir)
         reports.append(report)
     return reports
 

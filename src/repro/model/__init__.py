@@ -7,6 +7,12 @@ is re-exported here next to the paper's flat Eq. 1 machinery it extends.
 
 from ..ckpt.schedule import checkpoint_ratio, production_improvement
 from ..staging.model import MultiLevelModel, TierSpec
+from .incremental import (
+    chain_reduction,
+    delta_checkpoint_seconds,
+    effective_delta_fraction,
+    incremental_production_improvement,
+)
 from .speedup import SpeedupModel, blocked_processor_seconds
 
 __all__ = [
@@ -16,4 +22,8 @@ __all__ = [
     "TierSpec",
     "SpeedupModel",
     "blocked_processor_seconds",
+    "effective_delta_fraction",
+    "chain_reduction",
+    "delta_checkpoint_seconds",
+    "incremental_production_improvement",
 ]

@@ -175,9 +175,13 @@ class DarshanProfiler:
 
         Includes the process-wide data-plane copy counters
         (:data:`repro.buffers.stats`) so a profile shows host copy volume
-        next to the I/O it produced.
+        next to the I/O it produced, and the incremental-checkpointing
+        counters (:data:`repro.ckpt.incremental.stats`) — logical vs
+        PFS-shipped bytes and chunk-dedup hits/misses, zero unless a
+        strategy ran with ``delta`` enabled.
         """
         from ..buffers import stats as buffer_stats
+        from ..ckpt.incremental import stats as delta_stats
 
         writes = self.select(["write"])
         per_rank = self.per_rank_io_time()
@@ -189,4 +193,8 @@ class DarshanProfiler:
             "mean_rank_io_time": float(np.mean(list(per_rank.values()))) if per_rank else 0.0,
             "bytes_copied": float(buffer_stats.bytes_copied),
             "buffer_allocs": float(buffer_stats.buffer_allocs),
+            "bytes_logical": float(delta_stats.bytes_logical),
+            "bytes_to_pfs": float(delta_stats.bytes_to_pfs),
+            "chunk_hits": float(delta_stats.chunk_hits),
+            "chunk_misses": float(delta_stats.chunk_misses),
         }

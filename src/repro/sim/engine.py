@@ -651,8 +651,13 @@ class Engine:
         how many payload bytes were physically materialized, and into how
         many buffers, since the last ``stats.reset()`` — they ride along so
         benchmark records can report copy volume next to event throughput.
+        The incremental-checkpointing counters
+        (:data:`repro.ckpt.incremental.stats`) ride along the same way:
+        ``bytes_logical`` vs ``bytes_to_pfs`` and the chunk-dedup hit/miss
+        counts — all zero while ``delta="off"``.
         """
         from ..buffers import stats as buffer_stats
+        from ..ckpt.incremental import stats as delta_stats
 
         return {
             "events_processed": self._event_count,
@@ -667,6 +672,10 @@ class Engine:
             "virtual_time": self.now,
             "bytes_copied": buffer_stats.bytes_copied,
             "buffer_allocs": buffer_stats.buffer_allocs,
+            "bytes_logical": delta_stats.bytes_logical,
+            "bytes_to_pfs": delta_stats.bytes_to_pfs,
+            "chunk_hits": delta_stats.chunk_hits,
+            "chunk_misses": delta_stats.chunk_misses,
         }
 
     # -- execution -------------------------------------------------------

@@ -47,7 +47,8 @@ class StagedPackage:
     """
 
     __slots__ = ("step", "group", "path", "nbytes", "layout", "image",
-                 "staged_at", "drained", "checksum", "corrupt")
+                 "staged_at", "drained", "checksum", "corrupt",
+                 "pfs_commits", "wire_nbytes")
 
     def __init__(self, engine: Engine, step: int, group: int, path: str,
                  nbytes: int, layout: Any = None,
@@ -61,6 +62,15 @@ class StagedPackage:
         self.layout = layout
         self.image = image
         self.staged_at = engine.now
+        #: Incremental checkpointing: explicit drain-time PFS commits
+        #: ``((path, ((offset, nbytes, rope), ...)), ...)`` replacing the
+        #: default single full-image write of ``path`` (delta data file +
+        #: manifest).  ``None`` means the classic full write.
+        self.pfs_commits: Optional[tuple] = None
+        #: Bytes this package actually moves over wires (drain + partner
+        #: replication) when ``pfs_commits`` is set; ``None`` means
+        #: ``nbytes`` (no dedup).
+        self.wire_nbytes: Optional[int] = None
         #: Triggers when the package is durably on the PFS.
         self.drained: Event = Event(engine)
         #: CRC32 of ``image`` at staging time (``None`` in size-only runs).
@@ -163,39 +173,55 @@ class DrainScheduler:
                     raise StagingError(
                         f"package {pkg.path!r} unreadable before drain",
                         op="drain", path=pkg.path, time=eng.now)
-                handle = yield from retry_fs(
-                    eng, lambda: fsc.create(pkg.path))
-                pos = 0
-                while pos < pkg.nbytes:
-                    # Re-check every burst: bit-rot landing mid-drain must
-                    # abort with a short (rejectable) file, never complete
-                    # a full-size file holding corrupt bytes.
-                    if buffer.lost or not pkg.verify():
-                        raise StagingError(
-                            f"package {pkg.path!r} rotted during drain",
-                            op="drain", path=pkg.path, time=eng.now)
-                    burst = min(cfg.drain_chunk, pkg.nbytes - pos)
-                    t_burst = eng.now
-                    # Read the burst off the staging device, then push it to
-                    # the PFS; the device read contends with ingest by design.
-                    yield buffer.read(burst, via_link=False)
-                    chunk = None
-                    if pkg.image is not None:
-                        chunk = pkg.image[pos : pos + burst]
-                    yield from retry_fs(
-                        eng, lambda h=handle, p=pos, b=burst, c=chunk:
-                            fsc.write(h, p, b, payload=c))
-                    pos += burst
-                    if (cfg.drain_bandwidth is not None
-                            and (cfg.high_watermark is None
-                                 or buffer.fill_fraction < cfg.high_watermark)):
-                        # Trickle pacing: stretch this burst to the target rate.
-                        target = burst / cfg.drain_bandwidth
-                        elapsed = eng.now - t_burst
-                        if elapsed < target:
-                            yield eng.timeout(target - elapsed)
-                yield from fsc.close(handle)
-                handle = None
+                # Incremental packages carry an explicit commit list (delta
+                # data file + manifest); classic packages commit the one
+                # full image at offset 0.
+                commits = pkg.pfs_commits
+                if commits is None:
+                    commits = ((pkg.path, ((0, pkg.nbytes, pkg.image),)),)
+                committed = 0
+                for path, pieces in commits:
+                    handle = yield from retry_fs(
+                        eng, lambda p=path: fsc.create(p))
+                    for base, nbytes, image in pieces:
+                        pos = 0
+                        while pos < nbytes:
+                            # Re-check every burst: bit-rot landing
+                            # mid-drain must abort with a short
+                            # (rejectable) file, never complete a full-size
+                            # file holding corrupt bytes.
+                            if buffer.lost or not pkg.verify():
+                                raise StagingError(
+                                    f"package {pkg.path!r} rotted during "
+                                    f"drain",
+                                    op="drain", path=pkg.path, time=eng.now)
+                            burst = min(cfg.drain_chunk, nbytes - pos)
+                            t_burst = eng.now
+                            # Read the burst off the staging device, then
+                            # push it to the PFS; the device read contends
+                            # with ingest by design.
+                            yield buffer.read(burst, via_link=False)
+                            chunk = None
+                            if image is not None:
+                                chunk = image[pos : pos + burst]
+                            yield from retry_fs(
+                                eng,
+                                lambda h=handle, p=base + pos, b=burst,
+                                c=chunk: fsc.write(h, p, b, payload=c))
+                            pos += burst
+                            committed += burst
+                            if (cfg.drain_bandwidth is not None
+                                    and (cfg.high_watermark is None
+                                         or buffer.fill_fraction
+                                         < cfg.high_watermark)):
+                                # Trickle pacing: stretch this burst to the
+                                # target rate.
+                                target = burst / cfg.drain_bandwidth
+                                elapsed = eng.now - t_burst
+                                if elapsed < target:
+                                    yield eng.timeout(target - elapsed)
+                    yield from fsc.close(handle)
+                    handle = None
             except (FSError, StagingError) as exc:
                 # Abort this package: leave the partial PFS file (size
                 # validation rejects it on restore), release the buffer,
@@ -220,11 +246,11 @@ class DrainScheduler:
             t1 = eng.now
             self.intervals.record(t0, t1, rank)
             self.packages_drained += 1
-            self.bytes_drained += pkg.nbytes
+            self.bytes_drained += committed
             if t1 > self.last_drain_end:
                 self.last_drain_end = t1
             if self.profiler is not None:
-                self.profiler.record_phase(rank, "drain", t0, t1, pkg.nbytes)
+                self.profiler.record_phase(rank, "drain", t0, t1, committed)
             pkg.drained.succeed()
 
     def stats(self) -> dict:

@@ -56,6 +56,7 @@ class PartnerReplicator:
         self.shift = shift
         self.replicas_made = 0
         self.bytes_replicated = 0
+        self.bytes_deduped = 0
 
     def partner_group(self, group: int, n_groups: int) -> int:
         """The failure-domain partner of ``group``."""
@@ -78,8 +79,16 @@ class PartnerReplicator:
         if old is not None:
             partner.free(old.nbytes)
         yield from partner.reserve(pkg.nbytes)
-        yield self.fabric.transfer(src_rank, partner_rank, pkg.nbytes)
-        yield partner.write(pkg.nbytes)
+        # Incremental packages dedup against the replica they replace: only
+        # the fresh chunks (plus header and manifest) cross the fabric, the
+        # partner reconstructing the rest from the evicted previous
+        # generation.  Without a previous replica the full image ships.
+        wire = pkg.nbytes
+        if pkg.wire_nbytes is not None and old is not None:
+            wire = min(int(pkg.wire_nbytes), pkg.nbytes)
+            self.bytes_deduped += pkg.nbytes - wire
+        yield self.fabric.transfer(src_rank, partner_rank, wire)
+        yield partner.write(wire)
         # The replica *shares* the source package's image rope — the copy
         # is simulated (network + device time above); no host bytes move,
         # and the replica's CRC is recomputed over the shared segments.
@@ -87,7 +96,7 @@ class PartnerReplicator:
                                 pkg.nbytes, layout=pkg.layout, image=pkg.image)
         partner.replicas[pkg.group] = replica
         self.replicas_made += 1
-        self.bytes_replicated += pkg.nbytes
+        self.bytes_replicated += wire
 
     def find_replica(self, partner_rank: int, group: int,
                      step: int) -> Optional[StagedPackage]:
@@ -102,4 +111,5 @@ class PartnerReplicator:
         return {
             "replicas_made": self.replicas_made,
             "bytes_replicated": self.bytes_replicated,
+            "bytes_deduped": self.bytes_deduped,
         }

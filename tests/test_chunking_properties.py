@@ -1,0 +1,168 @@
+"""Seeded property tests for the content-defined chunking core.
+
+200+ generated cases over :mod:`repro.ckpt.incremental`:
+
+- **bound invariants** — chunk spans tile ``[0, len)`` exactly, every
+  chunk is at most ``max_size``, every non-final chunk at least
+  ``min_size``, and chunking is insensitive to how the rope is split
+  into segments (the segment-seam carry of the rolling hash);
+- **boundary stability** — an edit confined to a prefix region cannot
+  re-chunk the suffix: once the pre- and post-edit boundary walks share
+  a cut past the edit (they always resynchronize within a couple of
+  ``max_size`` windows), every later cut is identical;
+- **CRC32 agreement** — the rope's segment-iterative ``crc32`` equals
+  ``zlib.crc32`` of the materialized bytes for every chunk, and the
+  BLAKE2b chunk digest is segmentation-independent;
+- **dedup monotonicity** — growing the mutated fraction (nested mutated
+  regions) never shrinks the fresh bytes a delta plan ships by more
+  than one chunk's worth of boundary slack, and large mutations cost
+  several times more than small ones.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.buffers import ByteRope
+from repro.ckpt.incremental import (
+    GEAR_WINDOW,
+    ChunkingParams,
+    chunk_boundaries,
+    chunk_digest,
+    chunk_spans,
+    plan_section,
+)
+
+PARAMS = ChunkingParams(min_size=256, avg_size=1024, max_size=4096)
+
+
+def random_rope(rng, nbytes: int, max_segments: int = 8):
+    """A payload split into 1..max_segments rope segments at random seams."""
+    data = rng.integers(0, 256, size=nbytes, dtype=np.uint8).tobytes()
+    n_seams = int(rng.integers(0, max_segments))
+    seams = sorted(int(s) for s in rng.integers(0, nbytes + 1, size=n_seams))
+    parts, lo = [], 0
+    for s in seams + [nbytes]:
+        if s > lo:
+            parts.append(data[lo:s])
+            lo = s
+    return ByteRope.concat(parts), data
+
+
+# ---------------------------------------------------------------------------
+# Bound invariants (60 cases)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(60))
+def test_bounds_and_tiling(seed):
+    rng = np.random.default_rng((100, seed))
+    nbytes = int(rng.integers(1, 60_000))
+    rope, data = random_rope(rng, nbytes)
+    spans = chunk_spans(rope, PARAMS)
+
+    # Exact tiling of [0, len).
+    assert spans[0][0] == 0 and spans[-1][1] == nbytes
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+        assert a_hi == b_lo and a_lo < a_hi
+
+    sizes = [hi - lo for lo, hi in spans]
+    assert all(s <= PARAMS.max_size for s in sizes)
+    # Every chunk but the tail respects the minimum.
+    assert all(s >= PARAMS.min_size for s in sizes[:-1])
+
+    # Segmentation independence: the same bytes in one flat segment chunk
+    # identically (the rolling hash carries across rope seams).
+    assert chunk_boundaries(ByteRope.wrap(data), PARAMS) == [
+        hi for _, hi in spans]
+
+
+# ---------------------------------------------------------------------------
+# Boundary stability under prefix edits (60 cases)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(60))
+def test_prefix_edit_does_not_rechunk_suffix(seed):
+    rng = np.random.default_rng((200, seed))
+    nbytes = int(rng.integers(30_000, 80_000))
+    _, data = random_rope(rng, nbytes, max_segments=1)
+    edit_len = int(rng.integers(1, 4096))
+    edit_pos = int(rng.integers(0, nbytes // 3))
+    edit_end = edit_pos + edit_len
+    edited = (data[:edit_pos]
+              + rng.integers(0, 256, size=edit_len, dtype=np.uint8).tobytes()
+              + data[edit_end:])
+    assert len(edited) == nbytes
+
+    before = chunk_boundaries(ByteRope.wrap(data), PARAMS)
+    after = chunk_boundaries(ByteRope.wrap(edited), PARAMS)
+
+    # Cuts strictly before the edit are untouched.
+    prefix = [c for c in before if c <= edit_pos]
+    assert after[: len(prefix)] == prefix
+
+    # Both walks resynchronize: they share a cut within a few max-size
+    # windows past the edit, and from the first shared cut beyond the
+    # rolling-hash window every later cut is identical.
+    horizon = edit_end + GEAR_WINDOW
+    shared = sorted(set(before) & set(after))
+    resync = [c for c in shared if c >= horizon]
+    assert resync, "boundary walks never resynchronized"
+    assert resync[0] <= min(edit_end + 3 * PARAMS.max_size, nbytes)
+    c = resync[0]
+    assert [x for x in before if x >= c] == [x for x in after if x >= c]
+
+
+# ---------------------------------------------------------------------------
+# CRC32 / digest agreement across rope segmentations (40 cases)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(40))
+def test_crc_and_digest_segmentation_agreement(seed):
+    rng = np.random.default_rng((300, seed))
+    nbytes = int(rng.integers(1, 30_000))
+    rope, data = random_rope(rng, nbytes)
+    for lo, hi in chunk_spans(rope, PARAMS):
+        piece = rope.slice(lo, hi)
+        flat = data[lo:hi]
+        # Segment-iterative CRC over rope extents == flat zlib.crc32.
+        assert piece.crc32() == zlib.crc32(flat)
+        # BLAKE2b digest is a function of content, not segmentation.
+        assert chunk_digest(piece) == chunk_digest(ByteRope.wrap(flat))
+
+
+# ---------------------------------------------------------------------------
+# Dedup-ratio monotonicity in the mutated fraction (40 cases)
+# ---------------------------------------------------------------------------
+
+FRACTIONS = (0.05, 0.15, 0.3, 0.5, 0.75, 0.95)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_fresh_bytes_monotone_in_mutated_fraction(seed):
+    rng = np.random.default_rng((400, seed))
+    nbytes = int(rng.integers(40_000, 90_000))
+    _, base = random_rope(rng, nbytes, max_segments=1)
+    parent = plan_section(ByteRope.wrap(base), (nbytes,), member=0, step=0,
+                          params=PARAMS).section
+
+    # Nested mutations: one random block, applied at one position with
+    # growing length, so a larger fraction strictly contains a smaller
+    # one's dirty bytes.
+    block = rng.integers(0, 256, size=nbytes, dtype=np.uint8).tobytes()
+    start = int(rng.integers(0, nbytes // 4))
+    fresh = []
+    for f in FRACTIONS:
+        length = min(int(nbytes * f), nbytes - start)
+        mutated = base[:start] + block[:length] + base[start + length:]
+        plan = plan_section(ByteRope.wrap(mutated), (nbytes,), member=0,
+                            step=1, params=PARAMS, parent_section=parent)
+        assert plan.hits + plan.misses == len(plan.section.chunks)
+        assert plan.fresh_bytes >= length  # dirty bytes must all ship
+        fresh.append(plan.fresh_bytes)
+
+    # Monotone up to one max-size chunk of boundary-resync slack.
+    for a, b in zip(fresh, fresh[1:]):
+        assert b >= a - PARAMS.max_size
+    # And strongly increasing overall.
+    assert fresh[-1] > 3 * fresh[0]

@@ -11,7 +11,14 @@ from repro.ckpt import (
     checkpoint_ratio,
     production_improvement,
 )
-from repro.model import SpeedupModel, blocked_processor_seconds
+from repro.model import (
+    SpeedupModel,
+    blocked_processor_seconds,
+    chain_reduction,
+    delta_checkpoint_seconds,
+    effective_delta_fraction,
+    incremental_production_improvement,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -94,6 +101,92 @@ def test_improvement_monotone_property(tc_old, tc_new, t_comp, nc):
         assert imp >= 1
     elif tc_old < tc_new:
         assert imp <= 1
+
+
+# ---------------------------------------------------------------------------
+# Delta-sized checkpoints: Daly and the incremental interval model
+# ---------------------------------------------------------------------------
+
+def test_daly_interval_reduces_to_young_for_small_tc():
+    """Daly's perturbation solution converges on Young as Tc/MTBF -> 0."""
+    young = CheckpointSchedule.young_interval(1.0, 1e6)
+    daly = CheckpointSchedule.daly_interval(1.0, 1e6)
+    assert daly == pytest.approx(young, rel=1e-3)
+    # Degenerate regime: checkpoints as expensive as two MTBFs.
+    assert CheckpointSchedule.daly_interval(500.0, 100.0) == 100.0
+    with pytest.raises(ValueError):
+        CheckpointSchedule.daly_interval(0.0, 1.0)
+
+
+def test_young_interval_incremental_shortens_with_delta():
+    """Cheaper delta writes -> shorter optimal interval -> smaller nc."""
+    full = CheckpointSchedule.young_interval(40.0, 1000.0)
+    delta = CheckpointSchedule.young_interval_incremental(
+        40.0, 0.25, 1000.0)
+    # sqrt scaling: a quarter-cost checkpoint halves the interval.
+    assert delta == pytest.approx(full / 2.0)
+    # The fixed manifest overhead pushes the interval back up.
+    assert CheckpointSchedule.young_interval_incremental(
+        40.0, 0.25, 1000.0, manifest_overhead=30.0) > delta
+
+    s_full = CheckpointSchedule.young(40.0, 1.0, 1000.0)
+    s_delta = CheckpointSchedule.young_incremental(40.0, 0.25, 1.0, 1000.0)
+    assert s_delta.nc < s_full.nc
+    assert s_delta.t_checkpoint == pytest.approx(10.0)
+    # Checkpointing more often with cheaper writes costs less overhead.
+    assert s_delta.overhead_fraction < s_full.overhead_fraction
+
+
+def test_young_incremental_validation():
+    for bad in (0.0, -0.1, 1.5):
+        with pytest.raises(ValueError):
+            CheckpointSchedule.young_interval_incremental(10.0, bad, 100.0)
+    with pytest.raises(ValueError):
+        CheckpointSchedule.young_interval_incremental(
+            10.0, 0.5, 100.0, manifest_overhead=-1.0)
+
+
+def test_effective_delta_fraction_model():
+    # 25% churn + one region's two boundary chunks + no fixed overhead.
+    f = effective_delta_fraction(0.25, 1 << 20, 8192)
+    assert f == pytest.approx(0.25 + 2 * 8192 / (1 << 20))
+    # Overhead adds linearly; the churn term clamps at a full write.
+    assert effective_delta_fraction(1.0, 1 << 20, 8192,
+                                    overhead_bytes=1 << 18) \
+        == pytest.approx(1.25)
+    with pytest.raises(ValueError):
+        effective_delta_fraction(1.5, 1 << 20, 8192)
+    with pytest.raises(ValueError):
+        effective_delta_fraction(0.5, 0, 8192)
+
+
+def test_chain_reduction_model():
+    # Generation 0 is full, so a 1-generation chain saves nothing.
+    assert chain_reduction(1, 0.25) == pytest.approx(1.0)
+    assert chain_reduction(20, 0.25) == pytest.approx(20 / (1 + 19 * 0.25))
+    # Long chains approach the 1/f_eff asymptote from below.
+    assert chain_reduction(10_000, 0.25) < 4.0
+    with pytest.raises(ValueError):
+        chain_reduction(0, 0.25)
+    with pytest.raises(ValueError):
+        chain_reduction(5, 0.0)
+
+
+def test_incremental_production_improvement_consistency():
+    """The model's Eq. 1 wrapper equals Eq. 1 on the scaled delta cost."""
+    t_full, f_eff, t_comp, nc = 26.0, 0.3, 0.26, 20
+    assert delta_checkpoint_seconds(t_full, f_eff) == pytest.approx(7.8)
+    imp = incremental_production_improvement(t_full, f_eff, t_comp, nc)
+    assert imp == pytest.approx(
+        production_improvement(t_full, t_full * f_eff, t_comp, nc))
+    assert imp > 1.0
+    # A delta as large as the full image gives no improvement.
+    assert incremental_production_improvement(t_full, 1.0, t_comp, nc) \
+        == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        delta_checkpoint_seconds(-1.0, 0.5)
+    with pytest.raises(ValueError):
+        delta_checkpoint_seconds(1.0, 0.0)
 
 
 # ---------------------------------------------------------------------------
