@@ -55,6 +55,7 @@ class CampaignPoint:
     fault_rate: Optional[float] = None
     resume: bool = False
     delta: str = "off"
+    tam: str = "off"
     points_per_rank: Optional[int] = None
     mutated_fraction: float = 0.25
 
@@ -64,12 +65,14 @@ class CampaignPoint:
 
         Those execute through :func:`get_run` so they share the figure
         benches' caches and reproduce their values bit for bit.
-        Incremental (delta) points and evolving-workload points never
-        qualify — their data and written bytes differ from the figures'.
+        Incremental (delta) points, two-level-aggregation (tam) points and
+        evolving-workload points never qualify — their data, written bytes
+        or message traffic differ from the figures'.
         """
         return (self.n_steps == 1 and not self.faults and not self.resume
                 and self.fs_type == "gpfs" and self.basedir == "/ckpt"
-                and self.delta == "off" and self.points_per_rank is None)
+                and self.delta == "off" and self.tam == "off"
+                and self.points_per_rank is None)
 
     @property
     def content_hash(self) -> str:
@@ -78,7 +81,8 @@ class CampaignPoint:
             "campaign_point", self.approach, self.n_ranks, self.seed,
             self.n_steps, self.gaps, self.fs_type, self.basedir,
             self.fault_rate, self.resume, self.config, self.faults,
-            self.delta, self.points_per_rank, self.mutated_fraction)
+            self.delta, self.tam, self.points_per_rank,
+            self.mutated_fraction)
 
 
 @dataclass(frozen=True)
@@ -119,7 +123,7 @@ def _rate_schedule(spec: CampaignSpec, config: MachineConfig, n_ranks: int,
 
 
 def expand(spec: CampaignSpec) -> ExpandedCampaign:
-    """Expand a spec into points: approach-major, then np, delta, rate.
+    """Expand a spec into points: approach-major, then np, delta, tam, rate.
 
     Infeasible combinations (an ``rbio_nfNNN`` key whose file count
     leaves fewer than two ranks per writer group) are skipped and
@@ -145,20 +149,23 @@ def expand(spec: CampaignSpec) -> ExpandedCampaign:
                 mutated_fraction=spec.workload.mutated_fraction,
             ) if spec.workload is not None else {}
             for delta in (spec.grid.delta or ("off",)):
-                common = dict(
-                    approach=approach, n_ranks=n_ranks, config=config,
-                    seed=spec.seed, n_steps=n_steps, gaps=gaps,
-                    fs_type=spec.fs_type, basedir=spec.basedir,
-                    resume=spec.resume.enabled, delta=delta, **workload,
-                )
-                if spec.grid.fault_rates:
-                    for i, rate in enumerate(spec.grid.fault_rates):
-                        points.append(CampaignPoint(
-                            faults=_rate_schedule(spec, config, n_ranks, i,
-                                                  rate),
-                            fault_rate=rate, **common))
-                else:
-                    points.append(CampaignPoint(faults=base_faults, **common))
+                for tam in (spec.grid.tam or ("off",)):
+                    common = dict(
+                        approach=approach, n_ranks=n_ranks, config=config,
+                        seed=spec.seed, n_steps=n_steps, gaps=gaps,
+                        fs_type=spec.fs_type, basedir=spec.basedir,
+                        resume=spec.resume.enabled, delta=delta, tam=tam,
+                        **workload,
+                    )
+                    if spec.grid.fault_rates:
+                        for i, rate in enumerate(spec.grid.fault_rates):
+                            points.append(CampaignPoint(
+                                faults=_rate_schedule(spec, config, n_ranks,
+                                                      i, rate),
+                                fault_rate=rate, **common))
+                    else:
+                        points.append(CampaignPoint(faults=base_faults,
+                                                    **common))
     return ExpandedCampaign(spec, tuple(points), tuple(skipped))
 
 
@@ -177,6 +184,7 @@ def run_point(point: CampaignPoint) -> dict:
         "seed": point.seed,
         "fault_rate": point.fault_rate,
         "delta": point.delta,
+        "tam": point.tam,
         "point": point.content_hash,
     }
     if point.is_figure_point:
@@ -190,7 +198,7 @@ def run_point(point: CampaignPoint) -> dict:
         })
         return out
     strategy = strategy_for(point.approach, point.n_ranks,
-                            delta=point.delta)
+                            delta=point.delta, tam=point.tam)
     if point.points_per_rank is not None:
         data = EvolvingData.mutating(
             point.points_per_rank,
@@ -232,4 +240,12 @@ def run_point(point: CampaignPoint) -> dict:
     })
     if point.delta != "off":
         out.update(delta_stats.snapshot())
+    if point.tam != "off":
+        # Per-job fabric instance counters (not the process-wide snapshot),
+        # so sharded campaign workers report their own point's traffic.
+        fs = run.job.fabric.stats()
+        out.update({k: fs[k] for k in
+                    ("fabric_msgs_intra", "fabric_msgs_inter",
+                     "fabric_bytes_intra", "fabric_bytes_inter",
+                     "tam_msgs", "tam_packages", "tam_coalesce_ratio")})
     return out

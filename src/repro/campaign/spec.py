@@ -68,6 +68,10 @@ RESUME_POLICIES = ("newest_complete",)
 #: (see :meth:`repro.ckpt.CheckpointStrategy.configure_delta`).
 DELTA_MODES = ("off", "auto", "require")
 
+#: Two-level aggregation modes the ``grid.tam`` axis accepts
+#: (see :meth:`repro.ckpt.CheckpointStrategy.configure_tam`).
+TAM_MODES = ("off", "auto", "require")
+
 
 class SpecError(ValueError):
     """A campaign spec failed validation; the message names the path."""
@@ -195,16 +199,18 @@ class MachineSpec:
 
 @dataclass(frozen=True)
 class GridSpec:
-    """The sweep grid: approaches x np [x fault rates] [x delta modes]."""
+    """The sweep grid: approaches x np [x fault rates] [x delta] [x tam]."""
 
     approaches: tuple[str, ...]
     np: tuple[int, ...]
     fault_rates: tuple[float, ...] = ()
     delta: tuple[str, ...] = ()
+    tam: tuple[str, ...] = ()
 
     @classmethod
     def from_dict(cls, d: Mapping, path: str = "grid") -> "GridSpec":
-        _reject_unknown(d, ("approaches", "np", "fault_rates", "delta"), path)
+        _reject_unknown(d, ("approaches", "np", "fault_rates", "delta",
+                            "tam"), path)
         if "approaches" not in d or "np" not in d:
             missing = [k for k in ("approaches", "np") if k not in d]
             raise SpecError(path, f"missing required field(s) {missing}")
@@ -234,12 +240,20 @@ class GridSpec:
                                 f"unknown delta mode {mode!r}; expected one "
                                 f"of {list(DELTA_MODES)}")
             delta.append(mode)
+        tam = []
+        for i, m in enumerate(_sequence(d.get("tam", ()), f"{path}.tam")):
+            mode = _string(m, f"{path}.tam[{i}]")
+            if mode not in TAM_MODES:
+                raise SpecError(f"{path}.tam[{i}]",
+                                f"unknown tam mode {mode!r}; expected one "
+                                f"of {list(TAM_MODES)}")
+            tam.append(mode)
         if not approaches:
             raise SpecError(f"{path}.approaches", "must not be empty")
         if not np_values:
             raise SpecError(f"{path}.np", "must not be empty")
         return cls(tuple(approaches), tuple(np_values), tuple(rates),
-                   tuple(delta))
+                   tuple(delta), tuple(tam))
 
     def to_dict(self) -> dict:
         out: dict = {"approaches": list(self.approaches),
@@ -248,6 +262,8 @@ class GridSpec:
             out["fault_rates"] = list(self.fault_rates)
         if self.delta:
             out["delta"] = list(self.delta)
+        if self.tam:
+            out["tam"] = list(self.tam)
         return out
 
 

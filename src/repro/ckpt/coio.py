@@ -58,12 +58,29 @@ class CollectiveIO(CheckpointStrategy):
         self.hints = hints or Hints()
 
     def describe(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "nf": 1 if self.ranks_per_file is None else f"np/{self.ranks_per_file}",
             "ranks_per_aggregator": self.hints.ranks_per_aggregator,
             "aligned": self.hints.align_file_domains,
         }
+        if self.hints.cb_nodes is not None:
+            out["cb_nodes"] = self.hints.cb_nodes
+        if self.hints.tam != "off":
+            out["tam"] = self.hints.tam
+        return out
+
+    def configure_tam(self, tam: str = "auto"):
+        """Enable two-level aggregation on every file this strategy opens.
+
+        coIO's TAM lives entirely inside the MPI-IO collective write, so
+        enabling it is a pure hint change: ranks coalesce their extents
+        through node leaders before ROMIO's inter-node shuffle.  The
+        resulting files are bit-identical to the flat exchange.
+        """
+        super().configure_tam(tam)
+        self.hints = self.hints.with_(tam=tam)
+        return self
 
     def group_of(self, rank: int) -> int:
         """Output-file group index of a world rank."""

@@ -42,6 +42,9 @@ __all__ = ["ReducedBlockingIO"]
 
 _PKG_TAG_BASE = 1 << 24
 _ACK_TAG = (1 << 24) - 1
+#: Member -> node-leader forwards of the two-level (TAM) exchange; disjoint
+#: from the package, ack and bbIO restore tag spaces.
+_TAM_TAG_BASE = 3 << 24
 
 
 class ReducedBlockingIO(CheckpointStrategy):
@@ -89,13 +92,16 @@ class ReducedBlockingIO(CheckpointStrategy):
         self.hints = hints or Hints(ranks_per_aggregator=1)
 
     def describe(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "np:ng": f"{self.workers_per_writer}:1",
             "nf": 1 if self.single_file else "ng",
             "writer_buffer": self.writer_buffer,
             "max_outstanding": self.max_outstanding,
         }
+        if self.tam != "off":
+            out["tam"] = self.tam
+        return out
 
     def group_of(self, rank: int) -> int:
         """Writer-group index of a world rank."""
@@ -149,7 +155,20 @@ class ReducedBlockingIO(CheckpointStrategy):
         the fabric as its own transfer (same pipe reservations, so the
         writer-side incast is bit-identical), and the single shared eager
         copy time stands in for every member's local Isend completion.
+
+        With TAM engaged the worker roles split by node position, so the
+        replay hands off to :meth:`_coalesced_worker_tam`.
         """
+        if self.tam != "off":
+            inj = ctx.job.services.get("faults")
+            if inj is None or not inj.has_rank_faults:
+                from ..topology import NodeGroups
+                world = (members[0] - 1,) + tuple(members)
+                groups = NodeGroups(list(world), ctx.config.cores_per_node)
+                if groups.nontrivial:
+                    return (yield from self._coalesced_worker_tam(
+                        ctx, members, data, steps, basedir, gaps,
+                        barrier_each_step, groups))
         eng = ctx.engine
         comm = ctx.comm
         fabric = ctx.job.fabric
@@ -191,6 +210,102 @@ class ReducedBlockingIO(CheckpointStrategy):
                 ))
         return reports
 
+    def _coalesced_worker_tam(self, ctx: RankContext, members,
+                              data: CheckpointData, steps, basedir: str,
+                              gaps, barrier_each_step: bool, groups):
+        """Generator: TAM-aware coalesced replay of one group's workers.
+
+        Worker roles under TAM are not fully symmetric, so the replay is
+        role-aware.  Writer-node members and plain members are replayed by
+        bulk fire-and-forget posts plus the shared eager-copy timeout
+        (exactly the flat replay's discipline).  Node leaders — whose
+        timelines depend on their members' intra-node arrivals — are
+        replayed by one child process per *symmetry class* (leaders with
+        equal member counts behave identically): the child faithfully
+        receives the class representative's member messages, posts every
+        same-class leader's combined inter-node message at that instant
+        (with its TAM accounting), consumes the remaining leaders' member
+        messages fire-and-forget, and completes after the combined local
+        copy.  Message sources, tags, payloads and per-message fabric
+        transfers match the uncoalesced TAM run, so the writer-side gather
+        — and hence the file image — is bit-identical.
+        """
+        eng = ctx.engine
+        comm = ctx.comm
+        fabric = ctx.job.fabric
+        nbytes = data.total_bytes
+        copy = ctx.config.mpi_overhead + fabric.local_copy_time(nbytes)
+        world = (members[0] - 1,) + tuple(members)
+        co_located = list(groups.members_of[0][1:])
+        leaders = [lead for lead in groups.leaders if lead != 0]
+        classes: dict[int, list[int]] = {}
+        for lead in leaders:
+            classes.setdefault(len(groups.members_of[lead]), []).append(lead)
+        class_list = list(classes.values())
+        gviews = None
+        reports: dict[int, list] = {m: [] for m in members}
+        for i, step in enumerate(steps):
+            if gaps[i] > 0:
+                yield eng.timeout(gaps[i])
+            if i == 0 or barrier_each_step:
+                yield from comm.barrier_members(members)
+            if gviews is None:
+                gviews = yield from comm.split_members(
+                    [(m, self.group_of(m)) for m in members]
+                )
+                yield from comm.split_members([(m, 1) for m in members])
+            t0 = eng.now
+            tag = _PKG_TAG_BASE + step
+            ttag = _TAM_TAG_BASE + step
+            package = (tuple(data.field_sizes), data.concatenated_payload())
+            if co_located:
+                gviews[members[0]].post_members(co_located, 0, nbytes,
+                                                tag=tag, payload=package)
+            for lead in leaders:
+                for src in groups.members_of[lead][1:]:
+                    gviews[world[src]].post(lead, nbytes, tag=ttag,
+                                            payload=(src, package))
+
+            def leader_replay(lead0, leads):
+                parts0 = [(lead0, package)]
+                for src in groups.members_of[lead0][1:]:
+                    msg = yield from gviews[world[lead0]].recv(source=src,
+                                                               tag=ttag)
+                    parts0.append(msg.payload)
+                total = sum(sum(sizes) for _, (sizes, _p) in parts0)
+                for lead in leads:
+                    parts = ([(lead, package)]
+                             + [(src, package)
+                                for src in groups.members_of[lead][1:]])
+                    fabric.count_tam(len(parts))
+                    gviews[world[lead]].post(0, total, tag=tag, payload=parts)
+                    if lead != lead0:
+                        for src in groups.members_of[lead][1:]:
+                            gviews[world[lead]].irecv(source=src, tag=ttag)
+                yield eng.timeout(ctx.config.mpi_overhead
+                                  + fabric.local_copy_time(total))
+                return eng.now
+
+            children = [eng.process(leader_replay(leads[0], leads))
+                        for leads in class_list]
+            yield eng.timeout(copy)
+            t_member = eng.now
+            done = yield eng.all_of(children)
+            t_leader: dict[int, float] = {}
+            for leads, t in zip(class_list, done):
+                for lead in leads:
+                    t_leader[lead] = t
+            for m in members:
+                t_done = t_leader.get(gviews[m].rank, t_member)
+                if ctx.profiler is not None:
+                    ctx.profiler.record_phase(m, "isend", t0, t_done, nbytes)
+                reports[m].append(RankReport(
+                    rank=m, role="worker", t_start=t0, t_blocked_end=t_done,
+                    t_complete=t_done, bytes_local=nbytes,
+                    isend_seconds=t_done - t0,
+                ))
+        return reports
+
     # -- setup -------------------------------------------------------------
     def _setup(self, ctx: RankContext):
         """Generator: split group comm (and writers' comm) once, cache."""
@@ -216,12 +331,51 @@ class ReducedBlockingIO(CheckpointStrategy):
         cache = yield from self._setup(ctx)
         inj = ctx.job.services.get("faults")
         if inj is not None and inj.has_rank_faults:
+            # Writer failover reroutes individual workers across groups at
+            # fault-oracle instants; only the flat worker->writer protocol
+            # supports that, so TAM degrades to flat for the whole run.
+            if self.tam == "require":
+                raise ValueError(
+                    f"{self.name}: tam='require' is incompatible with "
+                    f"rank-crash fault schedules (writer failover needs the "
+                    f"flat worker->writer protocol)")
+            cache["tam_groups"] = None
             return (yield from self._checkpoint_faulted(ctx, inj, cache, data,
                                                         step, basedir))
         gcomm = cache["gcomm"]
+        groups = self._tam_groups(ctx, gcomm, cache)
         if not cache["am_writer"]:
+            if groups is not None:
+                return (yield from self._worker_tam(ctx, gcomm, groups, data,
+                                                    step))
             return (yield from self._worker(ctx, gcomm, data, step))
         return (yield from self._writer(ctx, cache, data, step, basedir))
+
+    def _tam_groups(self, ctx: RankContext, gcomm, cache: dict):
+        """The group's :class:`NodeGroups`, or ``None`` for the flat path.
+
+        Cached per rank: the split is static, so the node grouping is too.
+        ``None`` is cached when TAM is off or when no node hosts more than
+        one rank of the group (nothing to coalesce — ``"require"`` raises
+        instead).
+        """
+        if self.tam == "off":
+            cache["tam_groups"] = None
+            return None
+        if "tam_groups" not in cache:
+            from ..topology import NodeGroups
+            cpn = ctx.config.cores_per_node
+            groups = NodeGroups(gcomm.comm.world_ranks, cpn)
+            if not groups.nontrivial:
+                if self.tam == "require":
+                    raise ValueError(
+                        f"{self.name}: tam='require' but no node hosts more "
+                        f"than one rank of a writer group (cores_per_node="
+                        f"{cpn}, workers_per_writer="
+                        f"{self.workers_per_writer})")
+                groups = None
+            cache["tam_groups"] = groups
+        return cache["tam_groups"]
 
     # -- failover ------------------------------------------------------------
     def _adopter_rank(self, inj, group: int, ng: int, now: float) -> int:
@@ -408,6 +562,59 @@ class ReducedBlockingIO(CheckpointStrategy):
         return self._report(ctx, "worker", t0, t_done, t_done,
                             data.total_bytes, isend_seconds=t_done - t0)
 
+    def _worker_tam(self, ctx: RankContext, gcomm, groups,
+                    data: CheckpointData, step: int):
+        """Worker step under two-level aggregation (TAM).
+
+        Three roles by node position: members co-resident with the writer
+        keep the flat single (their send is shared-memory traffic already);
+        other members forward ``(group_rank, package)`` to their node's
+        leader over shared memory; each leader coalesces its node's
+        packages and issues **one** combined inter-node message to the
+        writer — O(nodes) inter-node messages per group instead of the
+        flat exchange's O(workers).  The writer rebuilds exact group-rank
+        order (:meth:`_gather_group_tam`), so the committed file image is
+        bit-identical to the flat path's.
+        """
+        eng = ctx.engine
+        t0 = eng.now
+        cache = self._cache(ctx)
+        if self.max_outstanding is not None:
+            # The writer still acknowledges every member directly, so flow
+            # control is untouched by where the package physically travels.
+            outstanding = cache.get("outstanding", 0)
+            while outstanding >= self.max_outstanding:
+                yield from gcomm.recv(source=0, tag=_ACK_TAG)
+                outstanding -= 1
+            cache["outstanding"] = outstanding + 1
+        me = gcomm.rank
+        lead = groups.leader_of[me]
+        package = (tuple(data.field_sizes), data.concatenated_payload())
+        if lead == 0:
+            req = gcomm.isend(0, data.total_bytes, tag=_PKG_TAG_BASE + step,
+                              payload=package, buffered=True)
+        elif me != lead:
+            req = gcomm.isend(lead, data.total_bytes,
+                              tag=_TAM_TAG_BASE + step, payload=(me, package),
+                              buffered=True)
+        else:
+            parts = [(me, package)]
+            for src in groups.members_of[me][1:]:
+                msg = yield from gcomm.recv(source=src,
+                                            tag=_TAM_TAG_BASE + step)
+                parts.append(msg.payload)
+            total = sum(sum(sizes) for _, (sizes, _p) in parts)
+            ctx.job.fabric.count_tam(len(parts))
+            req = gcomm.isend(0, total, tag=_PKG_TAG_BASE + step,
+                              payload=parts, buffered=True)
+        yield req.event
+        t_done = eng.now
+        if ctx.profiler is not None:
+            ctx.profiler.record_phase(ctx.rank, "isend", t0, t_done,
+                                      data.total_bytes)
+        return self._report(ctx, "worker", t0, t_done, t_done,
+                            data.total_bytes, isend_seconds=t_done - t0)
+
     def _gather_group(self, ctx: RankContext, gcomm, data: CheckpointData,
                       step: int, dead_members: tuple = ()):
         """Generator: aggregate group packages and reorder to file order.
@@ -418,7 +625,17 @@ class ReducedBlockingIO(CheckpointStrategy):
         Shared by rbIO's synchronous commit and bbIO's staged commit.
         ``dead_members`` (group-comm source indices) are skipped: a dead
         worker sends nothing, so its block is simply absent.
+
+        When the checkpoint step engaged TAM (``cache["tam_groups"]`` set
+        by :meth:`checkpoint`), the gather dispatches to the two-level
+        variant; fault paths always set it to ``None``, so degraded steps
+        stay on the flat protocol.
         """
+        if not dead_members:
+            groups = self._cache(ctx).get("tam_groups")
+            if groups is not None:
+                return (yield from self._gather_group_tam(ctx, gcomm, groups,
+                                                          data, step))
         eng = ctx.engine
         tag = _PKG_TAG_BASE + step
         # Aggregate: collect each member's (sizes, payload) package.
@@ -435,6 +652,39 @@ class ReducedBlockingIO(CheckpointStrategy):
 
         # Reorder member-major packages into field-major file order: one
         # memory pass over the aggregation buffer.
+        yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
+        layout = FileLayout(data.header_bytes, [list(s) for s in member_sizes])
+        image = self._field_major_image(layout, member_sizes, member_payloads)
+        return layout, image, member_sizes, member_payloads
+
+    def _gather_group_tam(self, ctx: RankContext, gcomm, groups,
+                          data: CheckpointData, step: int):
+        """Generator: two-level variant of :meth:`_gather_group`.
+
+        Receives flat singles from the writer's own node and one combined
+        ``[(group_rank, package), ...]`` message per remote node leader,
+        then rebuilds the packages in group-rank order — layout and image
+        are byte-identical to the flat gather's, only the message count
+        differs.
+        """
+        eng = ctx.engine
+        tag = _PKG_TAG_BASE + step
+        packages: dict[int, tuple] = {
+            0: (tuple(data.field_sizes), data.concatenated_payload())}
+        for src in groups.members_of[0][1:]:
+            msg = yield from gcomm.recv(source=src, tag=tag)
+            packages[src] = msg.payload
+        for lead in groups.leaders[1:]:
+            msg = yield from gcomm.recv(source=lead, tag=tag)
+            for src, pkg in msg.payload:
+                packages[src] = pkg
+        member_sizes: list[tuple[int, ...]] = []
+        member_payloads: list[Optional[bytes]] = []
+        for src in range(gcomm.size):
+            sizes, payload = packages[src]
+            member_sizes.append(tuple(sizes))
+            member_payloads.append(payload)
+        group_bytes = sum(sum(s) for s in member_sizes)
         yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
         layout = FileLayout(data.header_bytes, [list(s) for s in member_sizes])
         image = self._field_major_image(layout, member_sizes, member_payloads)

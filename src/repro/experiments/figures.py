@@ -124,7 +124,8 @@ def _strategy_for(key: str, n_ranks: int):
     raise ValueError(f"unknown approach key {key!r}")
 
 
-def strategy_for(key: str, n_ranks: int, delta: str = "off"):
+def strategy_for(key: str, n_ranks: int, delta: str = "off",
+                 tam: str = "off"):
     """Build the checkpoint strategy an approach key names (public hook).
 
     Accepts the five figure configurations, ``bbio``, and the Fig. 8
@@ -136,10 +137,15 @@ def strategy_for(key: str, n_ranks: int, delta: str = "off"):
     ``delta`` enables incremental (content-defined-chunking) writes on
     the returned strategy — ``"off"`` keeps the paper-fidelity full
     write; see :meth:`repro.ckpt.CheckpointStrategy.configure_delta`.
+    ``tam`` enables two-level intra-node request aggregation — ranks
+    coalesce through node leaders before any inter-node exchange; see
+    :meth:`repro.ckpt.CheckpointStrategy.configure_tam`.
     """
     strategy = _strategy_for(key, n_ranks)
     if delta != "off":
         strategy.configure_delta(delta)
+    if tam != "off":
+        strategy.configure_tam(tam)
     return strategy
 
 

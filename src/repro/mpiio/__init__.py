@@ -1,14 +1,23 @@
 """ROMIO-like MPI-IO layer: collective buffering, file domains, hints."""
 
-from .aggregation import FileDomains, RegionMap, pick_aggregators
+from .aggregation import (
+    FileDomains,
+    RegionMap,
+    TamExchange,
+    pick_aggregators,
+    pick_node_aggregators,
+)
 from .file import MPIFile, SplitRequest
-from .hints import Hints
+from .hints import Hints, TAM_MODES
 
 __all__ = [
     "FileDomains",
     "RegionMap",
+    "TamExchange",
     "pick_aggregators",
+    "pick_node_aggregators",
     "MPIFile",
     "SplitRequest",
     "Hints",
+    "TAM_MODES",
 ]

@@ -19,7 +19,8 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["RegionMap", "FileDomains", "pick_aggregators"]
+__all__ = ["RegionMap", "FileDomains", "TamExchange", "pick_aggregators",
+           "pick_node_aggregators"]
 
 
 class RegionMap:
@@ -180,3 +181,76 @@ def pick_aggregators(comm_size: int, n_aggregators: int) -> list[int]:
     cached tuple via :func:`_aggregator_placement` directly).
     """
     return list(_aggregator_placement(comm_size, n_aggregators))
+
+
+def pick_node_aggregators(leaders, n_aggregators: int) -> tuple[int, ...]:
+    """Node-aware aggregator placement for the two-level (TAM) exchange.
+
+    Inter-node aggregators are chosen *among node leaders* — under TAM
+    only leaders carry inter-node traffic, so placing an aggregator on a
+    non-leader rank would reintroduce the per-rank fan-in TAM exists to
+    remove.  The count is clamped to the number of nodes (this is how a
+    ``cb_nodes`` hint larger than the node count degrades gracefully) and
+    leaders are strided evenly, mirroring :func:`pick_aggregators`.
+    """
+    n = max(1, min(n_aggregators, len(leaders)))
+    stride = len(leaders) // n
+    return tuple(leaders[k * stride] for k in range(n))
+
+
+class TamExchange:
+    """Shared geometry of one two-level (TAM) collective write call.
+
+    Built exactly once per call via ``allgather(map_fn=...)`` from the
+    raw per-rank ``(offset, nbytes)`` regions, and consulted read-only by
+    every participant (the same single-construction discipline as
+    :class:`RegionMap`).  Encodes who sends what where:
+
+    - every rank forwards its extent to its node **leader** over shared
+      memory (no fabric traffic);
+    - each leader clips its node's coalesced extents against the file
+      domains and sends one message per *touched domain* to that domain's
+      aggregator — O(nodes x aggregators) inter-node messages instead of
+      the flat exchange's O(np x aggregators);
+    - aggregators overlay the received pieces and commit, exactly like
+      the flat path, so file images stay bit-identical.
+    """
+
+    __slots__ = ("raw", "regions", "groups", "domains", "aggregators",
+                 "send_domains", "expected")
+
+    def __init__(self, raw_regions: list, groups, n_aggregators: int,
+                 block_size: int, align: bool = True) -> None:
+        self.raw = tuple(raw_regions)
+        self.regions = RegionMap(list(raw_regions))
+        self.groups = groups
+        leaders = groups.leaders
+        self.aggregators = pick_node_aggregators(leaders, n_aggregators)
+        self.domains = FileDomains(
+            self.regions.lo, self.regions.hi, len(self.aggregators),
+            block_size, align=align)
+        # Per-leader: which domains its node's members touch.  Every listed
+        # domain is guaranteed at least one non-empty piece from that node
+        # (overlap is computed per member region), so no aggregator ever
+        # waits for a message that is never sent.
+        send_domains: dict[int, tuple[int, ...]] = {}
+        for lead in leaders:
+            touched: set[int] = set()
+            for m in groups.members_of[lead]:
+                off, length = self.raw[m]
+                if length > 0:
+                    touched.update(
+                        self.domains.domains_overlapping(off, off + length))
+            if touched:
+                send_domains[lead] = tuple(sorted(touched))
+        self.send_domains = send_domains
+        # Per-domain: which leaders the aggregator must receive from
+        # (leaders in ascending order; an aggregator's own node's pieces
+        # are staged locally, not messaged).
+        expected: dict[int, list[int]] = {k: [] for k in
+                                          range(len(self.aggregators))}
+        for lead in leaders:
+            for k in send_domains.get(lead, ()):
+                if self.aggregators[k] != lead:
+                    expected[k].append(lead)
+        self.expected = {k: tuple(v) for k, v in expected.items()}

@@ -21,19 +21,26 @@ the collective blocking the paper's rbIO is designed to avoid.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..buffers import ByteRope, overlay
 from ..faults.retry import retry_fs
 from ..mpi import CommView, RankContext
 from ..sim import Process
 from ..storage import FSClient, FileHandle
-from .aggregation import FileDomains, RegionMap, _aggregator_placement
+from ..topology import NodeGroups
+from .aggregation import FileDomains, RegionMap, TamExchange, \
+    _aggregator_placement
 from .hints import Hints
 
 __all__ = ["MPIFile", "SplitRequest"]
 
 _SHUFFLE_TAG_BASE = 1 << 20
+#: Tag space of the intra-node (rank -> node leader) TAM shuffle; disjoint
+#: from the inter-node shuffle tags so both phases of one call coexist.
+_TAM_TAG_BASE = 1 << 22
+
+_UNSET = object()
 
 
 class SplitRequest:
@@ -66,6 +73,7 @@ class MPIFile:
         self.hints = hints
         self._call_seq = 0
         self._staged: dict[int, list] = {}
+        self._tam_groups_cache: Any = _UNSET
         self.closed = False
 
     # ------------------------------------------------------------------
@@ -178,6 +186,12 @@ class MPIFile:
         if payload is not None:
             payload = ByteRope.wrap(payload)
 
+        groups = self._node_groups()
+        if groups is not None:
+            yield from self._two_phase_tam(seq, offset, nbytes, payload,
+                                           groups)
+            return
+
         # Phase 0: exchange access regions (one shared RegionMap built).
         regions: RegionMap = yield from comm.allgather(
             (offset, nbytes), nbytes=16, map_fn=RegionMap
@@ -229,6 +243,120 @@ class MPIFile:
             for src, _lo, _hi in expected:
                 msg = yield from comm.recv(source=src, tag=tag)
                 pieces.append(msg.payload)
+            yield from self._commit_domain(dlo, dhi, pieces)
+
+        if send_reqs:
+            yield from comm.waitall(send_reqs)
+        yield from comm.barrier()
+
+    def _node_groups(self) -> Optional[NodeGroups]:
+        """Node co-residency of the file's communicator, or ``None``.
+
+        ``None`` means the flat exchange runs: TAM is off, the file is
+        independently opened, or no node hosts two ranks (nothing to
+        coalesce — ``tam="require"`` raises instead of degrading
+        silently).  Cached per file; the communicator never changes.
+        """
+        if self._tam_groups_cache is not _UNSET:
+            return self._tam_groups_cache
+        groups = None
+        tam = self.hints.tam
+        if tam != "off" and self.comm is not None:
+            cpn = self.fs.fs.config.cores_per_node
+            candidate = NodeGroups(self.comm.comm.world_ranks, cpn)
+            if candidate.nontrivial:
+                groups = candidate
+            elif tam == "require":
+                raise ValueError(
+                    f"tam='require' on {self.path!r}: no node hosts more "
+                    f"than one rank of the communicator (cores_per_node="
+                    f"{cpn}), two-level aggregation cannot engage")
+        self._tam_groups_cache = groups
+        return groups
+
+    def _two_phase_tam(self, seq: int, offset: int, nbytes: int,
+                       payload, groups: NodeGroups):
+        """Two-level collective write: intra-node coalesce, then exchange.
+
+        Phase 1a ships each rank's extent to its node leader over shared
+        memory (intra-node transfer — no torus traffic); phase 1b has each
+        leader clip its node's extents against the file domains and send
+        *one* message per touched domain to that domain's aggregator
+        (``Fabric.count_tam`` records the coalescing).  Phase 2 is the
+        flat path's aggregator commit verbatim — the clipped piece set is
+        identical to what the flat exchange produces, piece by piece, so
+        the overlaid file image is bit-exact.  Payloads stay zero-copy
+        ropes throughout: leaders forward slices of members' ropes, never
+        reassembled bytes.
+        """
+        comm = self.comm
+        cfg = self.fs.fs.config
+        tag_intra = _TAM_TAG_BASE + seq
+        tag_inter = _SHUFFLE_TAG_BASE + seq
+        hints = self.hints
+
+        def build(raw):
+            return TamExchange(raw, groups, hints.n_aggregators(comm.size),
+                               cfg.fs_block_size,
+                               align=hints.align_file_domains)
+
+        ex: TamExchange = yield from comm.allgather(
+            (offset, nbytes), nbytes=16, map_fn=build)
+        if ex.regions.hi <= ex.regions.lo:
+            yield from comm.barrier()
+            return
+
+        me = comm.rank
+        lead = groups.leader_of[me]
+        send_reqs = []
+        if lead != me:
+            # Phase 1a: hand my extent to my node's leader (shared memory).
+            if nbytes > 0:
+                send_reqs.append(
+                    comm.isend(lead, nbytes, tag=tag_intra,
+                               payload=(offset, nbytes, payload)))
+        else:
+            # Leader: coalesce the node's extents...
+            parts: list[tuple[int, int, Optional[ByteRope]]] = []
+            if nbytes > 0:
+                parts.append((offset, nbytes, payload))
+            for m in groups.members_of[me][1:]:
+                if ex.raw[m][1] > 0:
+                    msg = yield from comm.recv(source=m, tag=tag_intra)
+                    parts.append(msg.payload)
+            # ...and forward one message per touched domain (phase 1b).
+            fabric = comm.comm.fabric
+            for k in ex.send_domains.get(me, ()):
+                dlo, dhi = ex.domains.domain(k)
+                pieces = []
+                total = 0
+                for p_off, p_len, p_pay in parts:
+                    lo = max(p_off, dlo)
+                    hi = min(p_off + p_len, dhi)
+                    if hi <= lo:
+                        continue
+                    part = None
+                    if p_pay is not None:
+                        part = p_pay[lo - p_off : hi - p_off]
+                    pieces.append((lo, hi, part))
+                    total += hi - lo
+                dest = ex.aggregators[k]
+                if dest == me:
+                    self._staged.setdefault(tag_inter, []).extend(pieces)
+                else:
+                    fabric.count_tam(len(pieces))
+                    send_reqs.append(
+                        comm.isend(dest, total, tag=tag_inter,
+                                   payload=pieces))
+
+        # Phase 2: aggregators overlay and commit, as in the flat path.
+        if me in ex.aggregators:
+            k = ex.aggregators.index(me)
+            dlo, dhi = ex.domains.domain(k)
+            pieces = self._staged.pop(tag_inter, [])
+            for src in ex.expected[k]:
+                msg = yield from comm.recv(source=src, tag=tag_inter)
+                pieces.extend(msg.payload)
             yield from self._commit_domain(dlo, dhi, pieces)
 
         if send_reqs:

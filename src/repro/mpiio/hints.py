@@ -1,18 +1,33 @@
 """MPI-IO hints (the tunables the paper adjusts on Blue Gene).
 
 The Blue Gene MPI-IO library exposes collective-buffering controls through
-hints; the two that matter for the paper are the aggregator ratio
+hints; the ones that matter here are the aggregator ratio
 (``bgp_nodes_pset``: how many ranks share one I/O aggregator — default one
-aggregator per 32 MPI processes in virtual-node mode) and file-domain
-alignment to file-system block boundaries (which avoids lock conflicts on
-GPFS).
+aggregator per 32 MPI processes in virtual-node mode), the explicit
+aggregator count (``cb_nodes``, ROMIO's node-aware override — it wins over
+the ratio when both are set), file-domain alignment to file-system block
+boundaries (which avoids lock conflicts on GPFS), and the two-level
+intra-node aggregation mode (``tam``, after Kang et al., arXiv:1907.12656).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Mapping, Optional
 
-__all__ = ["Hints"]
+__all__ = ["Hints", "TAM_MODES"]
+
+#: Two-level (intra-node) aggregation modes: ``"off"`` keeps the flat
+#: exchange, ``"auto"`` engages TAM whenever nodes host multiple ranks,
+#: ``"require"`` raises if TAM cannot engage (no co-resident ranks).
+TAM_MODES = ("off", "auto", "require")
+
+#: Hint keys :meth:`Hints.from_info` understands (ROMIO info-string style).
+_INFO_KEYS = ("cb_nodes", "cb_buffer_size", "bgp_nodes_pset", "tam",
+              "align_file_domains")
+
+_BOOL_WORDS = {"true": True, "enable": True, "1": True, "yes": True,
+               "false": False, "disable": False, "0": False, "no": False}
 
 
 @dataclass(frozen=True)
@@ -32,22 +47,89 @@ class Hints:
     cb_buffer_size:
         Collective buffer size per aggregator.  Domains larger than this
         are committed in multiple bursts.
+    cb_nodes:
+        Explicit aggregator count (ROMIO's node-aware hint).  When set it
+        takes precedence over ``ranks_per_aggregator``; the count is
+        clamped to the communicator size (and, under TAM, to the number of
+        participating nodes).
+    tam:
+        Two-level intra-node aggregation mode (one of :data:`TAM_MODES`).
+        Under TAM ranks first coalesce extents through their node's leader
+        over shared memory, and only node leaders join the inter-node
+        two-phase exchange.
     """
 
     ranks_per_aggregator: int = 32
     align_file_domains: bool = True
     cb_buffer_size: int = 16 * 1024 * 1024
+    cb_nodes: Optional[int] = None
+    tam: str = "off"
 
     def __post_init__(self) -> None:
         if self.ranks_per_aggregator < 1:
             raise ValueError("ranks_per_aggregator must be >= 1")
         if self.cb_buffer_size < 1:
             raise ValueError("cb_buffer_size must be >= 1")
+        if self.cb_nodes is not None and self.cb_nodes < 1:
+            raise ValueError("cb_nodes must be >= 1 (or None)")
+        if self.tam not in TAM_MODES:
+            raise ValueError(
+                f"tam must be one of {TAM_MODES}, got {self.tam!r}")
 
     def n_aggregators(self, comm_size: int) -> int:
-        """Number of aggregators designated for a communicator."""
+        """Number of aggregators designated for a communicator.
+
+        An explicit ``cb_nodes`` wins over the ``ranks_per_aggregator``
+        ratio, clamped to the communicator size.
+        """
+        if self.cb_nodes is not None:
+            return max(1, min(self.cb_nodes, comm_size))
         return max(1, comm_size // self.ranks_per_aggregator)
 
     def with_(self, **changes) -> "Hints":
         """Copy with fields replaced."""
         return replace(self, **changes)
+
+    @classmethod
+    def from_info(cls, info: Mapping[str, object],
+                  base: Optional["Hints"] = None) -> "Hints":
+        """Parse a ROMIO-style info dict (string values) into hints.
+
+        Unknown keys and invalid values raise ``ValueError`` naming the
+        offending key, matching MPI_Info semantics where silent typos are
+        the classic footgun.  ``base`` supplies defaults for keys the info
+        dict does not mention.
+        """
+        base = base if base is not None else cls()
+        changes: dict = {}
+        for key, raw in info.items():
+            if key not in _INFO_KEYS:
+                raise ValueError(
+                    f"unknown MPI-IO hint {key!r}; supported hints: "
+                    f"{list(_INFO_KEYS)}")
+            if key in ("cb_nodes", "cb_buffer_size", "bgp_nodes_pset"):
+                try:
+                    value = int(str(raw))
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"hint {key!r} needs an integer, got {raw!r}"
+                    ) from None
+                if value < 1:
+                    raise ValueError(f"hint {key!r} must be >= 1, got {value}")
+                changes[{"cb_nodes": "cb_nodes",
+                         "cb_buffer_size": "cb_buffer_size",
+                         "bgp_nodes_pset": "ranks_per_aggregator"}[key]] = value
+            elif key == "tam":
+                mode = str(raw)
+                if mode not in TAM_MODES:
+                    raise ValueError(
+                        f"hint 'tam' must be one of {TAM_MODES}, got {raw!r}")
+                changes["tam"] = mode
+            else:  # align_file_domains
+                word = str(raw).strip().lower()
+                if word not in _BOOL_WORDS:
+                    raise ValueError(
+                        f"hint 'align_file_domains' needs a boolean word "
+                        f"(true/false/enable/disable/1/0), got {raw!r}")
+                changes["align_file_domains"] = _BOOL_WORDS[word]
+        return base.with_(**changes) if changes else base

@@ -1,5 +1,5 @@
 """Message transport over the simulated torus fabric."""
 
-from .fabric import Fabric
+from .fabric import Fabric, FabricStats, stats
 
-__all__ = ["Fabric"]
+__all__ = ["Fabric", "FabricStats", "stats"]

@@ -178,14 +178,18 @@ class DarshanProfiler:
         next to the I/O it produced, and the incremental-checkpointing
         counters (:data:`repro.ckpt.incremental.stats`) — logical vs
         PFS-shipped bytes and chunk-dedup hits/misses, zero unless a
-        strategy ran with ``delta`` enabled.
+        strategy ran with ``delta`` enabled — and the fabric traffic split
+        (:data:`repro.network.stats`): intra-node vs inter-node messages
+        and bytes plus the TAM coalescing ratio.
         """
         from ..buffers import stats as buffer_stats
         from ..ckpt.incremental import stats as delta_stats
+        from ..network.fabric import stats as fabric_stats
 
         writes = self.select(["write"])
         per_rank = self.per_rank_io_time()
-        return {
+        out = {k: float(v) for k, v in fabric_stats.snapshot().items()}
+        out.update({
             "n_records": len(self.records),
             "n_writes": len(writes),
             "bytes_written": float(sum(r.nbytes for r in writes)),
@@ -197,4 +201,5 @@ class DarshanProfiler:
             "bytes_to_pfs": float(delta_stats.bytes_to_pfs),
             "chunk_hits": float(delta_stats.chunk_hits),
             "chunk_misses": float(delta_stats.chunk_misses),
-        }
+        })
+        return out

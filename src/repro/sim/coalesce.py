@@ -37,6 +37,16 @@ experiment runner, documented in DESIGN.md):
   per-member file offsets/FS handles (coIO aggregation), or flow-control
   acknowledgements (``max_outstanding``) desynchronize the group, so those
   configurations auto-disable coalescing and run uncoalesced.
+
+Two-level aggregation (``tam``, rbIO) breaks *full* group symmetry — node
+leaders block on their members' intra-node forwards before issuing the
+combined inter-node message — but preserves it *per role*: all plain
+members are symmetric, and leaders of equal-size node subgroups are
+symmetric with each other.  rbIO therefore keeps its coalesce plan under
+TAM and swaps in a role-aware replay
+(:meth:`repro.ckpt.ReducedBlockingIO._coalesced_worker_tam`) that posts the
+member traffic in bulk and replays each leader symmetry class from one
+child process, so 64K-rank TAM sweeps stay as cheap as flat ones.
 """
 
 from __future__ import annotations

@@ -654,12 +654,18 @@ class Engine:
         The incremental-checkpointing counters
         (:data:`repro.ckpt.incremental.stats`) ride along the same way:
         ``bytes_logical`` vs ``bytes_to_pfs`` and the chunk-dedup hit/miss
-        counts — all zero while ``delta="off"``.
+        counts — all zero while ``delta="off"``.  The fabric counters
+        (:data:`repro.network.stats`) split message/byte traffic into
+        intra-node (shared memory) vs inter-node (torus) and report the
+        two-level-aggregation coalescing ratio (``tam_*`` — zero unless a
+        strategy ran with ``tam`` enabled).
         """
         from ..buffers import stats as buffer_stats
         from ..ckpt.incremental import stats as delta_stats
+        from ..network.fabric import stats as fabric_stats
 
-        return {
+        out = fabric_stats.snapshot()
+        out.update({
             "events_processed": self._event_count,
             "dispatched_events": self._dispatched,
             "batched_events": self._batched,
@@ -676,7 +682,8 @@ class Engine:
             "bytes_to_pfs": delta_stats.bytes_to_pfs,
             "chunk_hits": delta_stats.chunk_hits,
             "chunk_misses": delta_stats.chunk_misses,
-        }
+        })
+        return out
 
     # -- execution -------------------------------------------------------
     def step(self) -> None:

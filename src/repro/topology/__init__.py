@@ -1,6 +1,7 @@
 """Blue Gene/P machine model: torus geometry, pset layout, hardware constants."""
 
-from .machine import MachineConfig, PsetMap, intrepid
+from .machine import MachineConfig, NodeGroups, PsetMap, intrepid
 from .torus import TorusTopology, torus_dims_for
 
-__all__ = ["MachineConfig", "PsetMap", "intrepid", "TorusTopology", "torus_dims_for"]
+__all__ = ["MachineConfig", "NodeGroups", "PsetMap", "intrepid",
+           "TorusTopology", "torus_dims_for"]

@@ -22,7 +22,7 @@ from dataclasses import dataclass, replace
 
 from .torus import TorusTopology
 
-__all__ = ["MachineConfig", "intrepid", "PsetMap"]
+__all__ = ["MachineConfig", "NodeGroups", "intrepid", "PsetMap"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,75 @@ class PsetMap:
     def ranks_per_pset(self) -> int:
         """Ranks served by one full pset."""
         return self.cores_per_node * self.nodes_per_pset
+
+    def ranks_of_node(self, node: int) -> range:
+        """World ranks hosted by compute node ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        lo = node * self.cores_per_node
+        return range(lo, min(lo + self.cores_per_node, self.n_ranks))
+
+
+class NodeGroups:
+    """Node co-residency structure of a communicator's ranks.
+
+    Groups the *local* ranks of a communicator by the compute node their
+    world rank lives on (block placement: node = world rank //
+    ``cores_per_node``, CNK's VN-mode default).  This is the geometry the
+    two-level aggregation (TAM) paths consult: each node's first local
+    rank is its **leader** (node-local aggregator), and only leaders take
+    part in inter-node exchanges.
+
+    Attributes
+    ----------
+    leaders:
+        Tuple of leader local ranks, in ascending node order.  The
+        communicator's rank 0 is always ``leaders[0]``.
+    members_of:
+        ``{leader local rank: (members...)}`` — each node's local ranks in
+        ascending order, leader first.
+    leader_of:
+        ``{local rank: leader local rank}`` for every member.
+    max_group:
+        Largest co-resident group size; 1 means no two ranks share a node
+        (TAM has nothing to coalesce).
+    """
+
+    __slots__ = ("leaders", "members_of", "leader_of", "max_group")
+
+    def __init__(self, world_ranks, cores_per_node: int) -> None:
+        if cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        by_node: dict[int, list[int]] = {}
+        for local, world in enumerate(world_ranks):
+            by_node.setdefault(world // cores_per_node, []).append(local)
+        leaders = []
+        members_of = {}
+        leader_of = {}
+        max_group = 0
+        for node in sorted(by_node):
+            members = by_node[node]
+            lead = members[0]
+            leaders.append(lead)
+            members_of[lead] = tuple(members)
+            for m in members:
+                leader_of[m] = lead
+            if len(members) > max_group:
+                max_group = len(members)
+        self.leaders = tuple(leaders)
+        self.members_of = members_of
+        self.leader_of = leader_of
+        self.max_group = max_group
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of distinct compute nodes represented."""
+        return len(self.leaders)
+
+    @property
+    def nontrivial(self) -> bool:
+        """Whether at least one node hosts two or more ranks."""
+        return self.max_group >= 2
 
 
 @dataclass(frozen=True)

@@ -203,6 +203,57 @@ def test_expansion_skips_infeasible_file_counts():
     assert "nf=512" in expanded.skipped[0].reason
 
 
+def test_tam_axis_parses_validates_and_round_trips():
+    spec = CampaignSpec.from_dict(
+        {**TINY, "grid": {**TINY["grid"], "tam": ["off", "auto"]}})
+    assert spec.grid.tam == ("off", "auto")
+    assert CampaignSpec.from_dict(spec.to_dict()) == spec
+    assert spec.to_dict()["grid"]["tam"] == ["off", "auto"]
+    # Off-only axes still round-trip; an absent axis stays absent.
+    assert "tam" not in CampaignSpec.from_dict(TINY).to_dict()["grid"]
+    with pytest.raises(SpecError, match=r"grid\.tam\[0\].*always"):
+        CampaignSpec.from_dict(
+            {**TINY, "grid": {**TINY["grid"], "tam": ["always"]}})
+    with pytest.raises(SpecError, match="tamm.*did you mean.*tam"):
+        CampaignSpec.from_dict(
+            {**TINY, "grid": {**TINY["grid"], "tamm": ["auto"]}})
+
+
+def test_tam_axis_expansion_order_and_hashes():
+    spec = CampaignSpec.from_dict(
+        {**TINY, "grid": {**TINY["grid"], "tam": ["off", "require"]}})
+    points = expand(spec).points
+    # tam is the innermost grid axis: approach-major, then np, then tam.
+    assert [(p.approach, p.n_ranks, p.tam) for p in points] == [
+        ("rbio_ng", 128, "off"), ("rbio_ng", 128, "require"),
+        ("rbio_ng", 256, "off"), ("rbio_ng", 256, "require"),
+        ("coio_64", 128, "off"), ("coio_64", 128, "require"),
+        ("coio_64", 256, "off"), ("coio_64", 256, "require")]
+    hashes = expand(spec).hashes()
+    assert len(set(hashes)) == 8  # tam participates in the content hash
+    # tam="off" points hash identically to a spec without the axis at all,
+    # so figure caches stay shared.
+    base = expand(CampaignSpec.from_dict(TINY)).hashes()
+    assert set(base) < set(hashes)
+    assert not points[0].is_figure_point or points[0].tam == "off"
+    assert not points[1].is_figure_point  # tam points never reuse fig caches
+
+
+def test_tam_point_reports_fabric_counters():
+    spec = CampaignSpec.from_dict({
+        "name": "tam-smoke", "seed": 5,
+        "grid": {"approaches": ["rbio_ng"], "np": [128],
+                 "tam": ["require"]}})
+    (point,) = expand(spec).points
+    assert point.tam == "require" and not point.is_figure_point
+    out = run_point(point)
+    assert out["tam"] == "require"
+    assert out["tam_msgs"] > 0
+    assert out["tam_coalesce_ratio"] > 1.0
+    assert out["fabric_msgs_intra"] > 0 and out["fabric_msgs_inter"] > 0
+    assert out["fabric_bytes_inter"] > 0
+
+
 def test_rate_axis_expansion_matches_resilience_convention():
     spec = faults_sweep_campaign("r", 128, (0.0, 4.0), 2, 1.0, horizon=2.0)
     points = expand(spec).points

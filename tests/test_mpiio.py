@@ -42,6 +42,66 @@ def test_hints_with_override():
     assert h.align_file_domains is True
 
 
+def test_hints_cb_nodes_precedence():
+    # An explicit cb_nodes count wins over the ranks_per_aggregator ratio.
+    h = Hints(ranks_per_aggregator=32, cb_nodes=7)
+    assert h.n_aggregators(1024) == 7
+    # Clamped to the communicator size, never zero.
+    assert h.n_aggregators(4) == 4
+    assert Hints(cb_nodes=1).n_aggregators(4096) == 1
+    # Without cb_nodes the ratio rule is unchanged.
+    assert Hints(ranks_per_aggregator=32).n_aggregators(1024) == 32
+
+
+def test_hints_cb_nodes_validation():
+    with pytest.raises(ValueError):
+        Hints(cb_nodes=0)
+    with pytest.raises(ValueError):
+        Hints(tam="always")
+
+
+def test_hints_from_info_parses_romio_keys():
+    h = Hints.from_info({
+        "cb_nodes": "16",
+        "cb_buffer_size": "8388608",
+        "bgp_nodes_pset": "64",
+        "tam": "auto",
+        "align_file_domains": "false",
+    })
+    assert h.cb_nodes == 16
+    assert h.cb_buffer_size == 8388608
+    assert h.ranks_per_aggregator == 64
+    assert h.tam == "auto"
+    assert h.align_file_domains is False
+
+
+def test_hints_from_info_layers_on_base():
+    base = Hints(ranks_per_aggregator=8, tam="require")
+    h = Hints.from_info({"cb_nodes": 3}, base=base)
+    assert h.ranks_per_aggregator == 8   # untouched base field
+    assert h.tam == "require"
+    assert h.cb_nodes == 3
+
+
+@pytest.mark.parametrize("info", [
+    {"cb_nodes": "zero"},
+    {"cb_nodes": 0},
+    {"cb_buffer_size": -1},
+    {"bgp_nodes_pset": "many"},
+    {"tam": "maybe"},
+    {"align_file_domains": "sometimes"},
+])
+def test_hints_from_info_invalid_values_name_the_key(info):
+    (key,) = info
+    with pytest.raises(ValueError, match=key):
+        Hints.from_info(info)
+
+
+def test_hints_from_info_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="romio_no_indep_rw"):
+        Hints.from_info({"romio_no_indep_rw": "true"})
+
+
 # ---------------------------------------------------------------------------
 # RegionMap
 # ---------------------------------------------------------------------------

@@ -131,3 +131,36 @@ def test_rbio_profiler_contains_isend_phases():
     writes = run.profiler.select(["write"])
     writers = {w.rank for w in writes}
     assert writers == {0, 4}
+
+
+# ---------------------------------------------------------------------------
+# Fabric traffic split: engine counters and Darshan summary
+# ---------------------------------------------------------------------------
+
+def test_fabric_counters_in_engine_and_summary():
+    """Engine.counters() and DarshanProfiler.summary() both surface the
+    process-wide intra/inter fabric split and the TAM coalescing ratio,
+    and the per-step numbers agree with the job's own fabric instance."""
+    from repro.network import stats as fabric_stats
+
+    fabric_stats.reset()
+    data = scaled_problem(16).data()
+    strategy = ReducedBlockingIO(workers_per_writer=8).configure_tam("require")
+    run = run_checkpoint_step(strategy, 16, data, config=QUIET)
+
+    job_stats = run.job.fabric.stats()
+    eng = run.job.engine.counters()
+    darshan = run.profiler.summary()
+    for counters in (eng, darshan):
+        for key in ("fabric_msgs_intra", "fabric_msgs_inter",
+                    "fabric_bytes_intra", "fabric_bytes_inter",
+                    "tam_msgs", "tam_packages", "tam_coalesce_ratio"):
+            assert counters[key] == job_stats[key], key
+    assert eng["fabric_msgs_intra"] > 0
+    assert eng["fabric_msgs_inter"] > 0
+    assert eng["tam_coalesce_ratio"] > 1.0
+    # Messages are classified exhaustively.
+    assert (eng["fabric_msgs_intra"] + eng["fabric_msgs_inter"]
+            == job_stats["messages_sent"])
+    fabric_stats.reset()
+    assert run.job.engine.counters()["tam_msgs"] == 0
