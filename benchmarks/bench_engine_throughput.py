@@ -193,3 +193,96 @@ def test_engine_throughput(benchmark):
     # property, measured.
     assert (out["barrier_64k"]["wall_seconds"]
             < out["barrier_4k"]["wall_seconds"])
+
+
+# -- trace-plane overhead cell ------------------------------------------------
+
+TRACE_NP = bench_np(2048, 512)
+TRACE_ROUNDS = 1 if SMOKE else 3
+
+
+def _ckpt_wall(mode: str) -> float:
+    """Host seconds for one instrumented rbIO checkpoint at ``mode``."""
+    import time as _time
+
+    from repro.experiments.figures import problem_for, strategy_for
+    from repro.experiments.runner import run_checkpoint_steps
+    from repro.trace import configure_trace
+
+    configure_trace(mode)
+    try:
+        t0 = _time.perf_counter()
+        run_checkpoint_steps(strategy_for("rbio_ng", TRACE_NP), TRACE_NP,
+                             problem_for(TRACE_NP).data(), 1)
+        return _time.perf_counter() - t0
+    finally:
+        configure_trace("off")
+
+
+def test_trace_overhead(benchmark):
+    """The off-switch guarantee, measured on the instrumented hot path.
+
+    Runs the same rbIO checkpoint with tracing off / summary / full
+    (min of interleaved rounds) through every instrumented call site
+    (ckpt envelope, pack, mpiio exchange/commit, forwarded fs spans).
+    The span/event counts are deterministic and gated unconditionally by
+    the perf gate, so instrumentation-coverage drift fails CI; the wall
+    ratios carry ``wall`` in their key so the gate treats them as
+    host-dependent (one-sided, ``PERF_GATE_WALL=1`` opt-in), and the
+    strict <=2%-overhead assertion only arms on quiet dedicated runners.
+    """
+    import os
+
+    from repro.trace import configure_trace
+
+    _ckpt_wall("off")  # warm allocators and import paths before timing
+    walls = {"off": [], "summary": [], "full": []}
+    for _ in range(TRACE_ROUNDS + 1):
+        for mode in walls:
+            walls[mode].append(_ckpt_wall(mode))
+    best = {mode: min(w) for mode, w in walls.items()}
+
+    tracer = configure_trace("full")
+    try:
+        from repro.experiments.figures import problem_for, strategy_for
+        from repro.experiments.runner import run_checkpoint_steps
+        run_checkpoint_steps(strategy_for("rbio_ng", TRACE_NP), TRACE_NP,
+                             problem_for(TRACE_NP).data(), 1)
+        n_spans = len(tracer.spans)
+        n_events = len(tracer.events)
+        rank_spans = sum(1 for s in tracer.spans for _r in s.expand())
+    finally:
+        configure_trace("off")
+
+    summary_ratio = best["summary"] / best["off"]
+    full_ratio = best["full"] / best["off"]
+    print_series(
+        "trace-plane overhead (instrumented rbIO checkpoint)",
+        ["mode", "best wall", "vs off"],
+        [[m, f"{best[m]:.4f} s", f"{best[m] / best['off']:.3f}x"]
+         for m in ("off", "summary", "full")],
+    )
+    bench_record("trace_overhead", **{
+        "ckpt_rbio": {
+            "np": TRACE_NP,
+            "n_spans_full": n_spans,
+            "n_events_full": n_events,
+            "rank_spans_full": rank_spans,
+            "wall_seconds_off": best["off"],
+            "wall_seconds_summary": best["summary"],
+            "wall_seconds_full": best["full"],
+            "summary_over_off_wall_ratio": summary_ratio,
+            "full_over_off_wall_ratio": full_ratio,
+        },
+    })
+
+    assert n_spans > 0 and rank_spans >= TRACE_NP
+    # Loose sanity everywhere; the contractual <=2% band needs a quiet
+    # machine (same opt-in the perf gate uses for wall metrics).
+    assert summary_ratio < 1.5 and full_ratio < 1.5
+    # Smoke walls are ~milliseconds — below timer-noise floor for a 2%
+    # band — so the strict assert needs the small/paper tiers too.
+    if os.environ.get("PERF_GATE_WALL") == "1" and not SMOKE:
+        assert summary_ratio <= 1.02, (
+            f"trace summary-mode overhead {summary_ratio:.3f}x exceeds the "
+            "2% band; the off/summary paths must stay near-free")

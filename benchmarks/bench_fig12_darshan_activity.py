@@ -48,3 +48,36 @@ def test_fig12_write_activity(benchmark):
         # about twice the file-system access concurrency of rbIO — the
         # paper's "concurrency is only 50% of the coIO case".
         assert co.max() > 1.5 * rb.max()
+
+
+def test_fig12_activity_parity_from_span_store(benchmark):
+    """The span tracer regenerates Fig. 12 row-identically to Darshan.
+
+    Same run, two recorders: the DarshanProfiler op log (the legacy
+    figure path) and the trace plane's forwarded ``fs:write`` spans.
+    Both must rasterise to the exact same activity arrays — one event,
+    two views, no chance to disagree.  Runs at a fixed tiny np on every
+    scale tier; the figure itself covers the paper scale.
+    """
+    import repro.trace as trace_mod
+    from repro.experiments.figures import problem_for, strategy_for
+    from repro.experiments.runner import run_checkpoint_steps
+    from repro.trace import configure_trace
+    from repro.trace.export import write_intervals_from_spans
+
+    n = 128
+    for key in ("rbio_ng", "coio_64"):
+        tr = configure_trace("full")
+        try:
+            run = run_checkpoint_steps(strategy_for(key, n), n,
+                                       problem_for(n).data(), 1)
+            legacy = run.profiler.write_intervals()
+            rebuilt = write_intervals_from_spans(trace_mod.tracer)
+        finally:
+            configure_trace("off")
+        assert rebuilt.intervals == legacy.intervals, key
+        l_starts, l_counts = legacy.activity(0.25)
+        s_starts, s_counts = rebuilt.activity(0.25)
+        assert np.array_equal(s_starts, l_starts), key
+        assert np.array_equal(s_counts, l_counts), key
+        assert tr.phase_totals()["fs:write"]["count"] == len(legacy)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from .. import trace as trace_plane
 from ..ckpt import EvolvingData
 from ..ckpt.incremental import stats as delta_stats
 from ..experiments.figures import get_run, problem_for, strategy_for
@@ -56,6 +57,7 @@ class CampaignPoint:
     resume: bool = False
     delta: str = "off"
     tam: str = "off"
+    trace: str = "off"
     points_per_rank: Optional[int] = None
     mutated_fraction: float = 0.25
 
@@ -67,12 +69,14 @@ class CampaignPoint:
         benches' caches and reproduce their values bit for bit.
         Incremental (delta) points, two-level-aggregation (tam) points and
         evolving-workload points never qualify — their data, written bytes
-        or message traffic differ from the figures'.
+        or message traffic differ from the figures'.  Trace-capture points
+        don't either: a cache hit would skip execution and produce no
+        spans, so they always run live.
         """
         return (self.n_steps == 1 and not self.faults and not self.resume
                 and self.fs_type == "gpfs" and self.basedir == "/ckpt"
                 and self.delta == "off" and self.tam == "off"
-                and self.points_per_rank is None)
+                and self.trace == "off" and self.points_per_rank is None)
 
     @property
     def content_hash(self) -> str:
@@ -81,7 +85,7 @@ class CampaignPoint:
             "campaign_point", self.approach, self.n_ranks, self.seed,
             self.n_steps, self.gaps, self.fs_type, self.basedir,
             self.fault_rate, self.resume, self.config, self.faults,
-            self.delta, self.tam, self.points_per_rank,
+            self.delta, self.tam, self.trace, self.points_per_rank,
             self.mutated_fraction)
 
 
@@ -150,22 +154,24 @@ def expand(spec: CampaignSpec) -> ExpandedCampaign:
             ) if spec.workload is not None else {}
             for delta in (spec.grid.delta or ("off",)):
                 for tam in (spec.grid.tam or ("off",)):
-                    common = dict(
-                        approach=approach, n_ranks=n_ranks, config=config,
-                        seed=spec.seed, n_steps=n_steps, gaps=gaps,
-                        fs_type=spec.fs_type, basedir=spec.basedir,
-                        resume=spec.resume.enabled, delta=delta, tam=tam,
-                        **workload,
-                    )
-                    if spec.grid.fault_rates:
-                        for i, rate in enumerate(spec.grid.fault_rates):
-                            points.append(CampaignPoint(
-                                faults=_rate_schedule(spec, config, n_ranks,
-                                                      i, rate),
-                                fault_rate=rate, **common))
-                    else:
-                        points.append(CampaignPoint(faults=base_faults,
-                                                    **common))
+                    for trace in (spec.grid.trace or ("off",)):
+                        common = dict(
+                            approach=approach, n_ranks=n_ranks,
+                            config=config, seed=spec.seed, n_steps=n_steps,
+                            gaps=gaps, fs_type=spec.fs_type,
+                            basedir=spec.basedir,
+                            resume=spec.resume.enabled, delta=delta,
+                            tam=tam, trace=trace, **workload,
+                        )
+                        if spec.grid.fault_rates:
+                            for i, rate in enumerate(spec.grid.fault_rates):
+                                points.append(CampaignPoint(
+                                    faults=_rate_schedule(spec, config,
+                                                          n_ranks, i, rate),
+                                    fault_rate=rate, **common))
+                        else:
+                            points.append(CampaignPoint(faults=base_faults,
+                                                        **common))
     return ExpandedCampaign(spec, tuple(points), tuple(skipped))
 
 
@@ -185,6 +191,7 @@ def run_point(point: CampaignPoint) -> dict:
         "fault_rate": point.fault_rate,
         "delta": point.delta,
         "tam": point.tam,
+        "trace": point.trace,
         "point": point.content_hash,
     }
     if point.is_figure_point:
@@ -197,6 +204,26 @@ def run_point(point: CampaignPoint) -> dict:
             "gbps": res.write_bandwidth / 1e9,
         })
         return out
+    from ..profiling import configure_profiling
+    prev_profiling = None
+    if point.trace != "off":
+        trace_plane.configure_trace(point.trace)
+    else:
+        # Non-figure sweep points never read their profiles: run with the
+        # zero-cost None-profiler (figure points go through get_run,
+        # whose summaries read ``run.profiler``, so they keep it on).
+        prev_profiling = configure_profiling("off")
+    try:
+        return _run_point_live(point, out)
+    finally:
+        if point.trace != "off":
+            trace_plane.configure_trace("off")
+        if prev_profiling is not None:
+            configure_profiling(prev_profiling)
+
+
+def _run_point_live(point: CampaignPoint, out: dict) -> dict:
+    """The non-figure execution body (trace/profiling already configured)."""
     strategy = strategy_for(point.approach, point.n_ranks,
                             delta=point.delta, tam=point.tam)
     if point.points_per_rank is not None:
@@ -248,4 +275,6 @@ def run_point(point: CampaignPoint) -> dict:
                     ("fabric_msgs_intra", "fabric_msgs_inter",
                      "fabric_bytes_intra", "fabric_bytes_inter",
                      "tam_msgs", "tam_packages", "tam_coalesce_ratio")})
+    if point.trace != "off" and trace_plane.tracer is not None:
+        out["trace_summary"] = trace_plane.tracer.summary()
     return out

@@ -8,6 +8,8 @@ Endpoints (all JSON)::
     GET  /campaigns/<id>/summary                      -> status + headline rows
     GET  /campaigns/<id>/results                      -> full per-point dicts
     GET  /status                                      -> service counters
+    GET  /healthz                                     -> liveness probe
+    GET  /metrics                                     -> Prometheus text
 
 Built on :class:`http.server.ThreadingHTTPServer` — no dependencies, good
 enough for many concurrent polling clients (the service itself serializes
@@ -53,6 +55,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, code: int, body: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        raw = body.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.end_headers()
+        self.wfile.write(raw)
+
     def _error(self, code: int, message: str) -> None:
         self._send(code, {"error": message})
 
@@ -63,6 +74,12 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if parts == ["status"]:
                 self._send(200, self.service.service_status())
+            elif parts == ["healthz"]:
+                self._send(200, {"status": "ok",
+                                 "workers": self.service.n_workers})
+            elif parts == ["metrics"]:
+                self._send_text(
+                    200, self.service.metrics_registry().to_prometheus())
             elif parts == ["campaigns"]:
                 self._send(200, self.service.list_campaigns())
             elif len(parts) == 2 and parts[0] == "campaigns":

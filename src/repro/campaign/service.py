@@ -237,6 +237,24 @@ class SweepService:
                 "counters": dict(self.counters),
             }
 
+    def metrics_registry(self):
+        """Live telemetry as a :class:`repro.trace.MetricsRegistry`.
+
+        Backs the HTTP ``/metrics`` endpoint: service counters and load
+        gauges under ``campaign.``, plus the process-wide engine/fabric/
+        delta counter snapshot under its canonical ``repro.trace.SCHEMA``
+        names (one scrape shows both the service and the simulator).
+        """
+        from ..trace import MetricsRegistry
+        registry = MetricsRegistry()
+        status = self.service_status()
+        registry.gauge("campaign.n_workers", status["n_workers"])
+        registry.gauge("campaign.campaigns", status["campaigns"])
+        registry.gauge("campaign.inflight_points", status["inflight_points"])
+        for key, value in status["counters"].items():
+            registry.counter(f"campaign.{key}", value)
+        return registry
+
     # -- lifecycle ---------------------------------------------------------
 
     def wait(self, campaign_id: str,

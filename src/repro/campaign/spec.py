@@ -72,6 +72,10 @@ DELTA_MODES = ("off", "auto", "require")
 #: (see :meth:`repro.ckpt.CheckpointStrategy.configure_tam`).
 TAM_MODES = ("off", "auto", "require")
 
+#: Trace-capture modes the ``grid.trace`` axis accepts
+#: (see :func:`repro.trace.configure_trace`).
+TRACE_MODES = ("off", "summary", "full")
+
 
 class SpecError(ValueError):
     """A campaign spec failed validation; the message names the path."""
@@ -199,18 +203,19 @@ class MachineSpec:
 
 @dataclass(frozen=True)
 class GridSpec:
-    """The sweep grid: approaches x np [x fault rates] [x delta] [x tam]."""
+    """The sweep grid: approaches x np [x rates] [x delta] [x tam] [x trace]."""
 
     approaches: tuple[str, ...]
     np: tuple[int, ...]
     fault_rates: tuple[float, ...] = ()
     delta: tuple[str, ...] = ()
     tam: tuple[str, ...] = ()
+    trace: tuple[str, ...] = ()
 
     @classmethod
     def from_dict(cls, d: Mapping, path: str = "grid") -> "GridSpec":
         _reject_unknown(d, ("approaches", "np", "fault_rates", "delta",
-                            "tam"), path)
+                            "tam", "trace"), path)
         if "approaches" not in d or "np" not in d:
             missing = [k for k in ("approaches", "np") if k not in d]
             raise SpecError(path, f"missing required field(s) {missing}")
@@ -248,12 +253,20 @@ class GridSpec:
                                 f"unknown tam mode {mode!r}; expected one "
                                 f"of {list(TAM_MODES)}")
             tam.append(mode)
+        trace = []
+        for i, m in enumerate(_sequence(d.get("trace", ()), f"{path}.trace")):
+            mode = _string(m, f"{path}.trace[{i}]")
+            if mode not in TRACE_MODES:
+                raise SpecError(f"{path}.trace[{i}]",
+                                f"unknown trace mode {mode!r}; expected one "
+                                f"of {list(TRACE_MODES)}")
+            trace.append(mode)
         if not approaches:
             raise SpecError(f"{path}.approaches", "must not be empty")
         if not np_values:
             raise SpecError(f"{path}.np", "must not be empty")
         return cls(tuple(approaches), tuple(np_values), tuple(rates),
-                   tuple(delta), tuple(tam))
+                   tuple(delta), tuple(tam), tuple(trace))
 
     def to_dict(self) -> dict:
         out: dict = {"approaches": list(self.approaches),
@@ -264,6 +277,8 @@ class GridSpec:
             out["delta"] = list(self.delta)
         if self.tam:
             out["tam"] = list(self.tam)
+        if self.trace:
+            out["trace"] = list(self.trace)
         return out
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from .. import trace as _trace
 from ..mpi import RankContext
 from .data import CheckpointData
 from .result import RankReport
@@ -255,9 +256,28 @@ class CheckpointStrategy:
         return cache
 
     @staticmethod
+    def _span(ctx: RankContext, name: str, t_start: float, t_end: float,
+              nbytes: int = 0, cat: str = "ckpt", members=None,
+              **args: Any) -> None:
+        """Record one sim-time span if tracing is on (else free).
+
+        Spans never schedule engine events or touch simulation state, so
+        trace ``off``/``summary``/``full`` runs stay bit-identical.
+        """
+        tr = _trace.tracer
+        if tr is not None:
+            tr.span(ctx.rank, name, cat, t_start, t_end, nbytes,
+                    members=members, args=args or None)
+
+    @staticmethod
     def _report(ctx: RankContext, role: str, t_start: float,
                 t_blocked_end: float, t_complete: float, nbytes: int,
                 isend_seconds: float = 0.0) -> RankReport:
+        tr = _trace.tracer
+        if tr is not None:
+            tr.span(ctx.rank, "checkpoint", "ckpt", t_start, t_complete,
+                    nbytes, args={"role": role,
+                                  "blocked_until": t_blocked_end})
         return RankReport(
             rank=ctx.rank,
             role=role,

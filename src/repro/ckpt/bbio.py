@@ -330,6 +330,7 @@ class BurstBufferIO(ReducedBlockingIO):
         each member's field blocks over the group communicator — no file
         system involvement at all.
         """
+        t_r0 = ctx.engine.now
         cache = yield from self._setup(ctx)
         gcomm = cache["gcomm"]
         if not cache["am_writer"]:
@@ -352,6 +353,8 @@ class BurstBufferIO(ReducedBlockingIO):
                 raise UnrecoverableCheckpointError(
                     f"staged image of step {step} failed its checksum",
                     step=step, rank=ctx.rank)
+            self._span(ctx, "restore", t_r0, ctx.engine.now,
+                       template.total_bytes, step=step, tier=tier)
             if msg.payload is None:
                 return [None] * template.n_fields
             return list(msg.payload)
@@ -426,6 +429,8 @@ class BurstBufferIO(ReducedBlockingIO):
                 f"staged image of step {step} failed its checksum",
                 step=step, path=pkg.path, rank=ctx.rank)
         own = member_blocks(0)
+        self._span(ctx, "restore", t_r0, ctx.engine.now,
+                   template.total_bytes, step=step, tier=tier)
         if own is None:
             return [None] * template.n_fields
         return list(own)

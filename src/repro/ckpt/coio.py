@@ -180,7 +180,10 @@ class CollectiveIO(CheckpointStrategy):
             step=step, params=self.chunking,
             parent_section=parent[1] if parent else None)
         # Chunking + hashing is one pass over the member's image.
+        t_c0 = eng.now
         yield eng.timeout(data.total_bytes / ctx.config.memory_bandwidth)
+        self._span(ctx, "chunk", t_c0, eng.now, data.total_bytes,
+                   cat="phase", step=step)
         header_bytes = data.header_bytes
         parent_step = parent[0] if parent else None
         chunking = self.chunking
@@ -228,15 +231,19 @@ class CollectiveIO(CheckpointStrategy):
     def restore(self, ctx: RankContext, template: CheckpointData, step: int,
                 basedir: str = "/ckpt"):
         """Generator: read this rank's blocks back from the group file."""
+        t_r0 = ctx.engine.now
         if self.delta != "off":
             from .incremental import manifest_exists
             group = self.group_of(ctx.rank)
             if manifest_exists(ctx, self.file_path(basedir, step, group)):
                 member = (ctx.rank if self.ranks_per_file is None
                           else ctx.rank % self.ranks_per_file)
-                return (yield from self._delta_restore(
+                fields = yield from self._delta_restore(
                     ctx, template, step, member=member,
-                    path_of=lambda s: self.file_path(basedir, s, group)))
+                    path_of=lambda s: self.file_path(basedir, s, group))
+                self._span(ctx, "restore", t_r0, ctx.engine.now,
+                           template.total_bytes, step=step, delta=True)
+                return fields
         comm = yield from self._iocomm(ctx)
         layout: FileLayout = yield from comm.allgather(
             list(template.field_sizes), nbytes=8 * template.n_fields,
@@ -255,4 +262,6 @@ class CollectiveIO(CheckpointStrategy):
             chunk = yield from ctx.fs.read(handle, offset, fld.nbytes)
             fields.append(chunk)
         yield from ctx.fs.close(handle)
+        self._span(ctx, "restore", t_r0, ctx.engine.now,
+                   template.total_bytes, step=step)
         return fields

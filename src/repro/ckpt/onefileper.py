@@ -94,7 +94,10 @@ class OneFilePerProcess(CheckpointStrategy):
             step=step, params=self.chunking,
             parent_section=parent[1] if parent else None)
         # Chunking + hashing is one pass over the image.
+        t_c0 = eng.now
         yield eng.timeout(data.total_bytes / ctx.config.memory_bandwidth)
+        self._span(ctx, "chunk", t_c0, eng.now, data.total_bytes,
+                   cat="phase", step=step)
         section = shift_fresh(plan.section, step, data.header_bytes)
         manifest = Manifest(
             strategy=self.name, step=step,
@@ -119,12 +122,16 @@ class OneFilePerProcess(CheckpointStrategy):
                 basedir: str = "/ckpt"):
         """Generator: read this rank's fields back from its private file."""
         path = self.rank_path(basedir, step, ctx.rank)
+        t_r0 = ctx.engine.now
         if self.delta != "off":
             from .incremental import manifest_exists
             if manifest_exists(ctx, path):
-                return (yield from self._delta_restore(
+                fields = yield from self._delta_restore(
                     ctx, template, step, member=0,
-                    path_of=lambda s: self.rank_path(basedir, s, ctx.rank)))
+                    path_of=lambda s: self.rank_path(basedir, s, ctx.rank))
+                self._span(ctx, "restore", t_r0, ctx.engine.now,
+                           template.total_bytes, step=step, delta=True)
+                return fields
         handle = yield from ctx.fs.open(path)
         expected = template.header_bytes + template.total_bytes
         if handle.file.size != expected:
@@ -141,4 +148,6 @@ class OneFilePerProcess(CheckpointStrategy):
             fields.append(chunk)
             offset += f.nbytes
         yield from ctx.fs.close(handle)
+        self._span(ctx, "restore", t_r0, ctx.engine.now,
+                   template.total_bytes, step=step)
         return fields

@@ -202,6 +202,10 @@ class ReducedBlockingIO(CheckpointStrategy):
             if ctx.profiler is not None:
                 for m in members:
                     ctx.profiler.record_phase(m, "isend", t0, t_done, nbytes)
+            # One representative span stands for the whole symmetry group;
+            # exporters expand it to every member.
+            self._span(ctx, "checkpoint", t0, t_done, nbytes,
+                       members=tuple(members), role="worker", coalesced=True)
             for m in members:
                 reports[m].append(RankReport(
                     rank=m, role="worker", t_start=t0, t_blocked_end=t_done,
@@ -295,8 +299,10 @@ class ReducedBlockingIO(CheckpointStrategy):
             for leads, t in zip(class_list, done):
                 for lead in leads:
                     t_leader[lead] = t
+            by_end: dict[float, list[int]] = {}
             for m in members:
                 t_done = t_leader.get(gviews[m].rank, t_member)
+                by_end.setdefault(t_done, []).append(m)
                 if ctx.profiler is not None:
                     ctx.profiler.record_phase(m, "isend", t0, t_done, nbytes)
                 reports[m].append(RankReport(
@@ -304,6 +310,12 @@ class ReducedBlockingIO(CheckpointStrategy):
                     t_complete=t_done, bytes_local=nbytes,
                     isend_seconds=t_done - t0,
                 ))
+            # One representative span per symmetry class (members sharing a
+            # completion time); exporters expand to every class member.
+            for t_done, cls_members in by_end.items():
+                self._span(ctx, "checkpoint", t0, t_done, nbytes,
+                           members=tuple(cls_members), role="worker",
+                           coalesced=True, tam=True)
         return reports
 
     # -- setup -------------------------------------------------------------
@@ -652,7 +664,10 @@ class ReducedBlockingIO(CheckpointStrategy):
 
         # Reorder member-major packages into field-major file order: one
         # memory pass over the aggregation buffer.
+        t_p0 = eng.now
         yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
+        self._span(ctx, "pack", t_p0, eng.now, group_bytes, cat="phase",
+                   step=step)
         layout = FileLayout(data.header_bytes, [list(s) for s in member_sizes])
         image = self._field_major_image(layout, member_sizes, member_payloads)
         return layout, image, member_sizes, member_payloads
@@ -669,6 +684,7 @@ class ReducedBlockingIO(CheckpointStrategy):
         """
         eng = ctx.engine
         tag = _PKG_TAG_BASE + step
+        t_g0 = eng.now
         packages: dict[int, tuple] = {
             0: (tuple(data.field_sizes), data.concatenated_payload())}
         for src in groups.members_of[0][1:]:
@@ -685,7 +701,12 @@ class ReducedBlockingIO(CheckpointStrategy):
             member_sizes.append(tuple(sizes))
             member_payloads.append(payload)
         group_bytes = sum(sum(s) for s in member_sizes)
+        self._span(ctx, "tam-gather", t_g0, eng.now, group_bytes,
+                   cat="phase", step=step)
+        t_p0 = eng.now
         yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
+        self._span(ctx, "pack", t_p0, eng.now, group_bytes, cat="phase",
+                   step=step)
         layout = FileLayout(data.header_bytes, [list(s) for s in member_sizes])
         image = self._field_major_image(layout, member_sizes, member_payloads)
         return layout, image, member_sizes, member_payloads
@@ -830,7 +851,10 @@ class ReducedBlockingIO(CheckpointStrategy):
             self._plan_group_delta(member_sizes, member_payloads, step,
                                    parent_secs, range(len(member_sizes)))
         # Chunking + hashing: one more pass over the aggregation buffer.
+        t_c0 = eng.now
         yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
+        self._span(ctx, "chunk", t_c0, eng.now, group_bytes, cat="phase",
+                   step=step, hits=hits, misses=misses)
         sections = [shift_fresh(s, step, header_bytes) for s in sections]
         manifest = Manifest(
             strategy=self.name, step=step, parent=parent_step,
@@ -873,7 +897,10 @@ class ReducedBlockingIO(CheckpointStrategy):
         sections, fresh_parts, fresh_total, hits, misses = \
             self._plan_group_delta(member_sizes, member_payloads, step,
                                    parent_secs, member_ids)
+        t_c0 = eng.now
         yield eng.timeout(group_bytes / ctx.config.memory_bandwidth)
+        self._span(ctx, "chunk", t_c0, eng.now, group_bytes, cat="phase",
+                   step=step, hits=hits, misses=misses)
         chunking = self.chunking
         strategy_name = self.name
 
@@ -969,6 +996,7 @@ class ReducedBlockingIO(CheckpointStrategy):
     def restore(self, ctx: RankContext, template: CheckpointData, step: int,
                 basedir: str = "/ckpt"):
         """Generator: read this rank's blocks back from its group's file."""
+        t_r0 = ctx.engine.now
         if self.delta != "off":
             from .incremental import manifest_exists
             if self.single_file:
@@ -980,8 +1008,11 @@ class ReducedBlockingIO(CheckpointStrategy):
                 path_of = (  # noqa: E731
                     lambda s: self.file_path(basedir, s, group))
             if manifest_exists(ctx, path_of(step)):
-                return (yield from self._delta_restore(
-                    ctx, template, step, member=member, path_of=path_of))
+                fields = yield from self._delta_restore(
+                    ctx, template, step, member=member, path_of=path_of)
+                self._span(ctx, "restore", t_r0, ctx.engine.now,
+                           template.total_bytes, step=step, delta=True)
+                return fields
         cache = yield from self._setup(ctx)
         gcomm = cache["gcomm"]
         member = gcomm.rank
@@ -1014,4 +1045,6 @@ class ReducedBlockingIO(CheckpointStrategy):
             chunk = yield from ctx.fs.read(handle, offset, fld.nbytes)
             fields.append(chunk)
         yield from ctx.fs.close(handle)
+        self._span(ctx, "restore", t_r0, ctx.engine.now,
+                   template.total_bytes, step=step)
         return fields

@@ -15,7 +15,8 @@ from ..ckpt.data import EvolvingData
 from ..ckpt.result import RankReport
 from ..faults import FaultSchedule, attach_faults
 from ..mpi import Job
-from ..profiling import DarshanProfiler
+from .. import trace as _trace
+from ..profiling import DarshanProfiler, make_profiler
 from ..storage import attach_storage
 from ..topology import MachineConfig, intrepid
 
@@ -54,9 +55,14 @@ def normalize_gaps(gap_seconds: GapSpec, n_steps: int) -> tuple[float, ...]:
 
 
 class CheckpointRun:
-    """Everything produced by a checkpoint experiment run."""
+    """Everything produced by a checkpoint experiment run.
 
-    def __init__(self, job: Job, profiler: DarshanProfiler,
+    ``profiler`` is ``None`` when profiling was switched off via
+    :func:`repro.profiling.configure_profiling` (sweeps that never read
+    profiles); figure pipelines always run with it on.
+    """
+
+    def __init__(self, job: Job, profiler: Optional[DarshanProfiler],
                  results: list[CheckpointResult]) -> None:
         self.job = job
         self.profiler = profiler
@@ -175,7 +181,9 @@ def run_checkpoint_steps(strategy: CheckpointStrategy, n_ranks: int,
                          "non-empty fault schedule")
     config = config if config is not None else intrepid()
     job = Job(n_ranks, config, seed=seed)
-    profiler = DarshanProfiler()
+    profiler = make_profiler()
+    if _trace.tracer is not None:
+        _trace.tracer.cores_per_node = config.cores_per_node
     fs = attach_storage(job, profiler=profiler, fs_type=fs_type)
     attach_faults(job, faults)
     for ctx in job.contexts:
@@ -266,7 +274,9 @@ def run_checkpoint_and_restore(strategy: CheckpointStrategy, n_ranks: int,
     """
     config = config if config is not None else intrepid()
     job = Job(n_ranks, config, seed=seed)
-    profiler = DarshanProfiler()
+    profiler = make_profiler()
+    if _trace.tracer is not None:
+        _trace.tracer.cores_per_node = config.cores_per_node
     fs = attach_storage(job, profiler=profiler, fs_type=fs_type)
     for ctx in job.contexts:
         ctx.profiler = profiler

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from .. import trace as _trace
 from ..storage import FSError
 from .schedule import FS_KINDS, NET_KINDS, FaultSchedule
 
@@ -65,6 +66,15 @@ class FaultInjector:
     def log(self, kind: str, **detail: Any) -> None:
         """Record one delivered fault (deterministic, comparable)."""
         self.injected.append({"kind": kind, "time": self.engine.now, **detail})
+        tr = _trace.tracer
+        if tr is not None:
+            # Faults (including writer failovers) surface as instant
+            # events on the trace timeline, annotated with the same
+            # detail dict the fault report carries.
+            tr.instant(kind, "fault", self.engine.now,
+                       rank=detail.get("rank", detail.get("adopter", -1)),
+                       args={k: v for k, v in detail.items()
+                             if isinstance(v, (int, float, str, bool))})
 
     def report(self) -> dict:
         """Summary of what was actually injected (for tests and benches)."""

@@ -13,6 +13,8 @@ the whole generator is safe.
 
 from __future__ import annotations
 
+from .. import trace as _trace
+
 __all__ = ["retry_fs", "DEFAULT_RETRIES", "DEFAULT_BACKOFF"]
 
 DEFAULT_RETRIES = 4
@@ -35,5 +37,12 @@ def retry_fs(engine, attempt, retries: int = DEFAULT_RETRIES,
         except RuntimeError as exc:
             if not getattr(exc, "transient", False) or tries >= retries:
                 raise
+            tr = _trace.tracer
+            if tr is not None:
+                tr.instant("retry", "fault", engine.now,
+                           rank=getattr(exc, "rank", -1),
+                           args={"error": type(exc).__name__,
+                                 "detail": str(exc), "attempt": tries + 1,
+                                 "backoff": backoff * (2 ** tries)})
             yield engine.timeout(backoff * (2 ** tries))
             tries += 1

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from .. import trace as _trace
 from ..buffers import ByteRope, overlay
 from ..faults.retry import retry_fs
 from ..mpi import CommView, RankContext
@@ -191,6 +192,8 @@ class MPIFile:
             yield from self._two_phase_tam(seq, offset, nbytes, payload,
                                            groups)
             return
+        eng = self.fs.fs.engine
+        t_x0 = eng.now
 
         # Phase 0: exchange access regions (one shared RegionMap built).
         regions: RegionMap = yield from comm.allgather(
@@ -248,6 +251,10 @@ class MPIFile:
         if send_reqs:
             yield from comm.waitall(send_reqs)
         yield from comm.barrier()
+        tr = _trace.tracer
+        if tr is not None:
+            tr.span(comm.world_rank, "exchange", "mpiio", t_x0, eng.now,
+                    nbytes, args={"path": self.path, "seq": seq})
 
     def _node_groups(self) -> Optional[NodeGroups]:
         """Node co-residency of the file's communicator, or ``None``.
@@ -294,6 +301,8 @@ class MPIFile:
         tag_intra = _TAM_TAG_BASE + seq
         tag_inter = _SHUFFLE_TAG_BASE + seq
         hints = self.hints
+        eng = self.fs.fs.engine
+        t_x0 = eng.now
 
         def build(raw):
             return TamExchange(raw, groups, hints.n_aggregators(comm.size),
@@ -317,6 +326,7 @@ class MPIFile:
                                payload=(offset, nbytes, payload)))
         else:
             # Leader: coalesce the node's extents...
+            t_g0 = eng.now
             parts: list[tuple[int, int, Optional[ByteRope]]] = []
             if nbytes > 0:
                 parts.append((offset, nbytes, payload))
@@ -348,6 +358,12 @@ class MPIFile:
                     send_reqs.append(
                         comm.isend(dest, total, tag=tag_inter,
                                    payload=pieces))
+            tr = _trace.tracer
+            if tr is not None:
+                tr.span(comm.world_rank, "tam-gather", "mpiio", t_g0,
+                        eng.now, sum(n for _o, n, _p in parts),
+                        args={"path": self.path, "seq": seq,
+                              "members": len(groups.members_of[me])})
 
         # Phase 2: aggregators overlay and commit, as in the flat path.
         if me in ex.aggregators:
@@ -362,6 +378,11 @@ class MPIFile:
         if send_reqs:
             yield from comm.waitall(send_reqs)
         yield from comm.barrier()
+        tr = _trace.tracer
+        if tr is not None:
+            tr.span(comm.world_rank, "exchange", "mpiio", t_x0, eng.now,
+                    nbytes, args={"path": self.path, "seq": seq,
+                                  "tam": True})
 
     def _stage_local(self, tag: int, lo: int, hi: int, part: Optional[bytes]) -> None:
         """Stage this rank's own contribution for its aggregator role."""
@@ -389,6 +410,7 @@ class MPIFile:
         # Commit in collective-buffer-sized bursts.
         cb = self.hints.cb_buffer_size
         eng = self.fs.fs.engine
+        t_w0 = eng.now
         pos = lo
         while pos < hi:
             burst = min(cb, hi - pos)
@@ -398,6 +420,11 @@ class MPIFile:
                 lambda p=pos, b=burst, c=chunk:
                     self.fs.write(self.handle, p, b, payload=c))
             pos += burst
+        tr = _trace.tracer
+        if tr is not None:
+            rank = self.fs.rank if self.comm is None else self.comm.world_rank
+            tr.span(rank, "commit", "mpiio", t_w0, eng.now, hi - lo,
+                    args={"path": self.path, "domain": [dlo, dhi]})
 
     # ------------------------------------------------------------------
     # Closing

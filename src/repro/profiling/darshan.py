@@ -22,6 +22,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from .. import trace as _trace
 from ..sim import IntervalRecorder
 
 __all__ = ["OpRecord", "DarshanProfiler"]
@@ -70,11 +71,20 @@ class DarshanProfiler:
                   nbytes: int, path: str) -> None:
         """Record a file-system operation (called by FSClient)."""
         self.records.append(OpRecord(rank, op, start, end, nbytes, path))
+        tr = _trace.tracer
+        if tr is not None:
+            # Forwarded, not duplicated at the call site: op records and
+            # fs spans come from the same event, so they cannot disagree.
+            tr.span(rank, op, "fs", start, end, nbytes,
+                    args={"path": path})
 
     def record_phase(self, rank: int, phase: str, start: float, end: float,
                      nbytes: int = 0) -> None:
         """Record an application-level phase (e.g. 'ckpt', 'isend')."""
         self.records.append(OpRecord(rank, f"app:{phase}", start, end, nbytes, ""))
+        tr = _trace.tracer
+        if tr is not None:
+            tr.span(rank, phase, "phase", start, end, nbytes)
 
     def reset(self) -> None:
         """Drop all records (between checkpoint steps)."""

@@ -19,6 +19,12 @@ the sharded sweep service over HTTP, or submit to a running one.
 ``python -m repro.report profile SPEC [--index N] [--top N]`` runs one
 expanded campaign point under cProfile and prints the top-N functions by
 cumulative time — the first stop when a sweep suddenly gets slow.
+
+``python -m repro.report trace APPROACH --np N --out trace.json`` runs one
+checkpoint step with full tracing and writes a Chrome ``trace_event`` JSON
+(open it in ``chrome://tracing`` or Perfetto).  ``python -m repro.report
+timeline APPROACH --np N`` renders the same span store as a per-rank ASCII
+Gantt chart plus a critical-path summary, straight to the terminal.
 """
 
 from __future__ import annotations
@@ -237,6 +243,79 @@ def profile_main(argv: list[str]) -> int:
     return 0
 
 
+def _trace_parser(prog: str, description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument("approach",
+                        help="strategy key (e.g. rbio_ng, coio_64, 1pfpp)")
+    parser.add_argument("--np", type=int, default=128, dest="n_ranks",
+                        help="rank count (default 128)")
+    parser.add_argument("--steps", type=int, default=1,
+                        help="checkpoint steps to run (default 1)")
+    parser.add_argument("--delta", default="off",
+                        choices=["off", "auto", "require"])
+    parser.add_argument("--tam", default="off",
+                        choices=["off", "auto", "require"])
+    return parser
+
+
+def _traced_run(args):
+    """Run one traced checkpoint experiment; returns the populated tracer."""
+    from . import trace as trace_mod
+    from .experiments.figures import problem_for, strategy_for
+    from .experiments.runner import run_checkpoint_steps
+
+    trace_mod.configure_trace("full")
+    strategy = strategy_for(args.approach, args.n_ranks, delta=args.delta,
+                            tam=args.tam)
+    data = problem_for(args.n_ranks).data()
+    run_checkpoint_steps(strategy, args.n_ranks, data, args.steps)
+    return trace_mod.tracer
+
+
+def trace_main(argv: list[str]) -> int:
+    """``repro-report trace``: run one traced step, export Chrome JSON."""
+    parser = _trace_parser(
+        "python -m repro.report trace",
+        "Run one checkpoint experiment with full tracing and write a "
+        "Chrome trace_event JSON (Perfetto-loadable).")
+    parser.add_argument("--out", default="trace.json",
+                        help="output path (default trace.json)")
+    args = parser.parse_args(argv)
+    from . import trace as trace_mod
+    from .trace.export import write_chrome_trace
+
+    tracer = _traced_run(args)
+    doc = write_chrome_trace(tracer, args.out)
+    trace_mod.configure_trace("off")
+    print(f"{args.out}: {len(doc['traceEvents'])} events "
+          f"({len(tracer.spans)} spans, {len(tracer.events)} instants) — "
+          f"open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def timeline_main(argv: list[str]) -> int:
+    """``repro-report timeline``: per-rank ASCII Gantt + critical path."""
+    parser = _trace_parser(
+        "python -m repro.report timeline",
+        "Run one traced checkpoint experiment and render a per-rank "
+        "terminal Gantt chart plus a critical-path summary.")
+    parser.add_argument("--width", type=int, default=72,
+                        help="chart width in characters (default 72)")
+    parser.add_argument("--rows", type=int, default=32,
+                        help="max rank rows before elision (default 32)")
+    args = parser.parse_args(argv)
+    from . import trace as trace_mod
+    from .trace.timeline import render_critical_path, render_timeline
+
+    tracer = _traced_run(args)
+    sys.stdout.write(render_timeline(tracer, width=args.width,
+                                     max_rows=args.rows))
+    sys.stdout.write("\n")
+    sys.stdout.write(render_critical_path(tracer))
+    trace_mod.configure_trace("off")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = sys.argv[1:] if argv is None else argv
@@ -246,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
         return campaign_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "timeline":
+        return timeline_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.report",
         description="Regenerate the paper's tables and figures as CSV files.",

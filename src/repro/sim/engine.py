@@ -683,6 +683,12 @@ class Engine:
             "chunk_hits": delta_stats.chunk_hits,
             "chunk_misses": delta_stats.chunk_misses,
         })
+        # Canonical namespaced spellings (repro.trace.SCHEMA).  The flat
+        # legacy keys above stay for one release as aliases; new readers
+        # should use the dotted names.
+        from ..trace import SCHEMA
+        for canonical, legacy in SCHEMA.items():
+            out[canonical] = out[legacy]
         return out
 
     # -- execution -------------------------------------------------------

@@ -1,0 +1,184 @@
+"""Unified observability plane: sim-time spans, metrics, exporters.
+
+This package is the single place the simulator's scattered telemetry —
+``Engine.counters()``, fabric intra/inter + TAM counters, buffer/delta
+stats, Darshan-style op records — comes together:
+
+- :class:`SpanTracer` records hierarchical *sim-time* spans (checkpoint
+  → pack / chunk / tam-gather / exchange / write / drain / restore)
+  with per-rank and per-node attribution, plus instant events for
+  retries and writer failovers;
+- :class:`~repro.trace.registry.MetricsRegistry` and
+  :data:`~repro.trace.registry.SCHEMA` give every counter a stable,
+  namespaced name (Prometheus-exportable);
+- :mod:`repro.trace.export` renders Chrome ``trace_event`` JSON that
+  loads in ``chrome://tracing`` / Perfetto, and rebuilds
+  :class:`~repro.sim.monitor.IntervalRecorder` views from the span
+  store so figure pipelines and traces can never disagree;
+- :mod:`repro.trace.timeline` renders per-rank ASCII Gantt charts and a
+  critical-path summary for ``repro-report timeline``.
+
+Tracing follows the repo's zero-cost off-switch idiom (see
+``repro.faults``): the module global :data:`tracer` is ``None`` unless
+:func:`configure_trace` enabled it, and every instrumented call site
+guards with a single ``is not None`` test.  Spans never schedule engine
+events and never touch simulation state, so ``off`` is bit-identical to
+pre-trace behaviour *by construction* — the differential tests in
+``tests/test_trace.py`` enforce it across strategies × delta × tam ×
+coalesce, and the perf gate bounds the residual wall cost.
+
+Call sites must access the switch through the module object
+(``from .. import trace as _trace`` then ``_trace.tracer``), never
+``from ..trace import tracer`` — the latter copies the binding at
+import time and goes stale when the mode changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence
+
+__all__ = ["MODES", "Span", "SpanTracer", "tracer", "configure_trace",
+           "trace_mode", "MetricsRegistry", "SCHEMA"]
+
+#: Recognised trace modes, mirroring ``repro.faults`` / delta / tam:
+#: ``off`` removes every cost, ``summary`` keeps only per-phase
+#: aggregates, ``full`` additionally retains every span for export.
+MODES = ("off", "summary", "full")
+
+
+class Span:
+    """One closed sim-time interval attributed to a rank and a phase.
+
+    ``cat`` is the span's layer (``ckpt``, ``phase``, ``fs``,
+    ``mpiio``); ``name`` the phase within it (``checkpoint``, ``pack``,
+    ``write``, ...).  ``members`` marks a *coalesce-representative*
+    span: one rank did the simulated work on behalf of the whole
+    symmetry group, and exporters expand the span to every member.
+    """
+
+    __slots__ = ("rank", "name", "cat", "start", "end", "nbytes",
+                 "members", "args")
+
+    def __init__(self, rank: int, name: str, cat: str, start: float,
+                 end: float, nbytes: int = 0,
+                 members: Optional[Sequence[int]] = None,
+                 args: Optional[dict] = None) -> None:
+        self.rank = rank
+        self.name = name
+        self.cat = cat
+        self.start = float(start)
+        self.end = float(end)
+        self.nbytes = int(nbytes)
+        self.members = None if members is None else tuple(members)
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def expand(self) -> Iterator[int]:
+        """Ranks this span stands for (the symmetry group, or just one)."""
+        if self.members is None:
+            yield self.rank
+        else:
+            yield from self.members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grp = "" if self.members is None else f" x{len(self.members)}"
+        return (f"Span({self.cat}:{self.name} rank={self.rank}{grp} "
+                f"[{self.start:.6f},{self.end:.6f}] {self.nbytes}B)")
+
+
+class SpanTracer:
+    """Collects spans and instant events; aggregates per-phase totals.
+
+    In ``summary`` mode only the ``(cat, name)`` → (count, seconds,
+    bytes) aggregates are kept; ``full`` mode additionally retains the
+    span list for Chrome-trace export and interval reconstruction.
+    Coalesce-representative spans count once per member in the
+    aggregates, so summary totals match what an uncoalesced run of the
+    same workload would report.
+    """
+
+    def __init__(self, mode: str = "full") -> None:
+        if mode not in ("summary", "full"):
+            raise ValueError(f"tracer mode must be 'summary' or 'full', "
+                             f"got {mode!r}")
+        self.mode = mode
+        self.spans: list[Span] = []
+        self.events: list[dict] = []
+        #: Ranks per node, set by the runner from ``MachineConfig`` so
+        #: exporters can attribute spans to nodes (pid = rank // cpn).
+        self.cores_per_node: Optional[int] = None
+        self._totals: dict[tuple[str, str], list] = {}
+
+    # -- recording -----------------------------------------------------------
+    def span(self, rank: int, name: str, cat: str, start: float, end: float,
+             nbytes: int = 0, members: Optional[Sequence[int]] = None,
+             args: Optional[dict] = None) -> None:
+        """Record one closed span (optionally a coalesce representative)."""
+        n = 1 if members is None else len(members)
+        key = (cat, name)
+        agg = self._totals.get(key)
+        if agg is None:
+            agg = self._totals[key] = [0, 0.0, 0]
+        agg[0] += n
+        agg[1] += (float(end) - float(start)) * n
+        agg[2] += int(nbytes) * n
+        if self.mode == "full":
+            self.spans.append(Span(rank, name, cat, start, end, nbytes,
+                                   members, args))
+
+    def instant(self, name: str, cat: str, t: float, rank: int = -1,
+                args: Optional[dict[str, Any]] = None) -> None:
+        """Record a zero-duration annotation (retry, failover, ...)."""
+        self.events.append({"name": name, "cat": cat, "time": float(t),
+                            "rank": rank, "args": dict(args or {})})
+
+    # -- views ---------------------------------------------------------------
+    def phase_totals(self) -> dict[str, dict]:
+        """Per-phase aggregates: ``"cat:name" -> {count, seconds, bytes}``."""
+        return {f"{cat}:{name}": {"count": agg[0], "seconds": agg[1],
+                                  "bytes": agg[2]}
+                for (cat, name), agg in sorted(self._totals.items())}
+
+    def summary(self) -> dict:
+        """JSON-clean rollup of everything this tracer holds."""
+        return {
+            "mode": self.mode,
+            "n_spans": len(self.spans),
+            "n_events": len(self.events),
+            "phases": self.phase_totals(),
+        }
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self._totals.clear()
+
+
+#: Module-level switch.  ``None`` (the default) disables tracing; call
+#: sites guard every record with ``_trace.tracer is not None``.
+tracer: Optional[SpanTracer] = None
+
+
+def configure_trace(mode: str = "off") -> Optional[SpanTracer]:
+    """Select the tracing mode for subsequent runs; returns the tracer.
+
+    ``off`` restores the zero-cost default (and drops any collected
+    data); ``summary`` keeps per-phase aggregates only; ``full`` also
+    retains every span for timeline export.
+    """
+    global tracer
+    if mode not in MODES:
+        raise ValueError(f"trace mode must be one of {MODES}, got {mode!r}")
+    tracer = None if mode == "off" else SpanTracer(mode)
+    return tracer
+
+
+def trace_mode() -> str:
+    """The currently configured mode (``off`` when tracing is disabled)."""
+    return "off" if tracer is None else tracer.mode
+
+
+from .registry import SCHEMA, MetricsRegistry  # noqa: E402  (re-export)

@@ -1,0 +1,175 @@
+"""Namespaced metrics schema and registry.
+
+Before this module, every telemetry producer invented its own flat key
+names — ``Engine.counters()`` said ``events_processed`` next to
+``bytes_copied`` next to ``fabric_msgs_intra`` with no indication of
+which subsystem owned what, and bench JSON columns drifted whenever a
+counter was renamed.  :data:`SCHEMA` is now the single source of truth:
+every canonical dotted name maps to its legacy flat key, the engine
+publishes both for one release, and ``tests/test_trace.py`` pins the
+full key set so shape changes are loud.
+
+:class:`MetricsRegistry` is the aggregation point: counters, gauges and
+pow2-histograms registered under canonical names, exportable as a plain
+dict or Prometheus text exposition (served by the campaign service's
+``/metrics`` endpoint).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+__all__ = ["SCHEMA", "LEGACY_KEYS", "MetricsRegistry"]
+
+#: Canonical dotted metric name -> legacy flat key as emitted by
+#: ``Engine.counters()`` (and mirrored into bench JSON).  The engine
+#: emits **both** spellings for one release; new code should read the
+#: canonical names.  Fabric *instance* stats additionally expose the
+#: pre-TAM aliases ``messages_sent``/``bytes_sent`` for the combined
+#: intra+inter totals — those are per-``Fabric`` diagnostics, not part
+#: of the process-wide counter schema, and keep their old names.
+SCHEMA: dict[str, str] = {
+    # simulator core
+    "sim.events_processed": "events_processed",
+    "sim.dispatched_events": "dispatched_events",
+    "sim.batched_events": "batched_events",
+    "sim.absorbed_events": "absorbed_events",
+    "sim.batches": "batches",
+    "sim.batch_hist": "batch_hist",
+    "sim.drain_hist": "drain_hist",
+    "sim.wall_seconds": "wall_seconds",
+    "sim.events_per_second": "events_per_second",
+    "sim.virtual_time": "virtual_time",
+    # copy/buffer accounting
+    "copy.bytes_copied": "bytes_copied",
+    "copy.buffer_allocs": "buffer_allocs",
+    # incremental (delta) checkpointing
+    "delta.bytes_logical": "bytes_logical",
+    "delta.bytes_to_pfs": "bytes_to_pfs",
+    "delta.chunk_hits": "chunk_hits",
+    "delta.chunk_misses": "chunk_misses",
+    # fabric traffic (process-wide snapshot)
+    "fabric.msgs_intra": "fabric_msgs_intra",
+    "fabric.msgs_inter": "fabric_msgs_inter",
+    "fabric.bytes_intra": "fabric_bytes_intra",
+    "fabric.bytes_inter": "fabric_bytes_inter",
+    "fabric.tam_msgs": "tam_msgs",
+    "fabric.tam_packages": "tam_packages",
+    "fabric.tam_coalesce_ratio": "tam_coalesce_ratio",
+}
+
+#: Reverse view: legacy flat key -> canonical dotted name.
+LEGACY_KEYS: dict[str, str] = {v: k for k, v in SCHEMA.items()}
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Counters, gauges and pow2-histograms under one namespace.
+
+    Values are plain numbers (histograms are ``{bucket_label: count}``
+    dicts as produced by :func:`repro.sim.monitor.pow2_histogram`);
+    registering an existing name overwrites it, so the registry can be
+    refreshed from live sources before every scrape.
+    """
+
+    _KINDS = ("counter", "gauge", "histogram")
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._metrics: dict[str, tuple[str, object, str]] = {}
+
+    # -- registration --------------------------------------------------------
+    def _set(self, kind: str, name: str, value, help: str) -> None:
+        if not name or name.startswith(".") or name.endswith("."):
+            raise ValueError(f"bad metric name: {name!r}")
+        self._metrics[name] = (kind, value, help)
+
+    def counter(self, name: str, value: Number = 0, help: str = "") -> None:
+        """A monotonically-meaningful count (events, bytes, retries)."""
+        self._set("counter", name, value, help)
+
+    def gauge(self, name: str, value: Number = 0, help: str = "") -> None:
+        """A point-in-time level (backlog, inflight points, ratios)."""
+        self._set("gauge", name, value, help)
+
+    def histogram(self, name: str, buckets: Mapping[str, int],
+                  help: str = "") -> None:
+        """A pow2-bucketed distribution, ``{label: count}``."""
+        self._set("histogram", name, dict(buckets), help)
+
+    def update_counters(self, prefix: str, values: Mapping[str, Number],
+                        help: str = "") -> None:
+        """Bulk-register ``values`` as counters under ``prefix.``."""
+        for key, value in values.items():
+            if isinstance(value, Mapping):
+                self.histogram(f"{prefix}.{key}", value, help)
+            else:
+                self.counter(f"{prefix}.{key}", value, help)
+
+    # -- ingestion from live sources ----------------------------------------
+    def collect_engine(self, counters: Mapping[str, object]) -> None:
+        """Register an ``Engine.counters()`` dict under canonical names."""
+        for canonical, legacy in SCHEMA.items():
+            if legacy not in counters:
+                continue
+            value = counters[legacy]
+            if isinstance(value, Mapping):
+                self.histogram(canonical, value)
+            else:
+                self.counter(canonical, value)
+
+    def collect_tracer(self, tracer) -> None:
+        """Register a :class:`~repro.trace.SpanTracer`'s phase totals."""
+        for phase, agg in tracer.phase_totals().items():
+            slug = phase.replace(":", ".")
+            self.counter(f"trace.{slug}.count", agg["count"])
+            self.counter(f"trace.{slug}.seconds", agg["seconds"])
+            self.counter(f"trace.{slug}.bytes", agg["bytes"])
+        self.counter("trace.spans", len(tracer.spans))
+        self.counter("trace.events", len(tracer.events))
+
+    def collect_profiler(self, profiler) -> None:
+        """Register a ``DarshanProfiler.summary()`` under ``profile.``."""
+        self.update_counters("profile", profiler.summary())
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Flat ``{name: value}`` dict (histograms stay nested dicts)."""
+        return {name: (dict(v) if isinstance(v, dict) else v)
+                for name, (_k, v, _h) in sorted(self._metrics.items())}
+
+    def to_prometheus(self) -> str:
+        """Text exposition (one scrape) in the Prometheus 0.0.4 format."""
+        lines: list[str] = []
+        for name, (kind, value, help_text) in sorted(self._metrics.items()):
+            metric = self._prom_name(name)
+            if help_text:
+                lines.append(f"# HELP {metric} {help_text}")
+            if kind == "histogram":
+                lines.append(f"# TYPE {metric} gauge")
+                for bucket, count in value.items():
+                    lines.append(f'{metric}{{bin="{bucket}"}} {count}')
+            else:
+                lines.append(f"# TYPE {metric} {kind}")
+                lines.append(f"{metric} {self._prom_value(value)}")
+        return "\n".join(lines) + "\n"
+
+    def _prom_name(self, name: str) -> str:
+        slug = name.replace(".", "_").replace("-", "_")
+        return f"{self.namespace}_{slug}"
+
+    @staticmethod
+    def _prom_value(value) -> str:
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, float):
+            return repr(value)
+        return str(value)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[object]:
+        entry = self._metrics.get(name)
+        return None if entry is None else entry[1]

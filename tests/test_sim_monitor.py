@@ -173,3 +173,74 @@ def test_pow2_histogram_empty():
     from repro.sim import pow2_histogram
 
     assert pow2_histogram({}) == {}
+
+
+def test_pow2_histogram_negative_bins_collapse_to_zero_label():
+    from repro.sim import pow2_histogram
+
+    # Defensive: bit_length is never negative, but a negative key must
+    # not crash or invent a bogus range — it merges into the "0" label
+    # (last writer wins dict-insertion; both map to the same key).
+    out = pow2_histogram({-3: 1, 0: 2})
+    assert out == {"0": 2}
+    assert pow2_histogram({-1: 4}) == {"0": 4}
+
+
+def test_pow2_histogram_max_bucket_overflow():
+    from repro.sim import pow2_histogram
+
+    # A terabyte-scale drain lands in bit_length 41; the label must be
+    # the exact power-of-two range with no float rounding artifacts.
+    out = pow2_histogram({41: 3, 64: 1})
+    assert out[f"{1 << 40}-{(1 << 41) - 1}"] == 3
+    assert out[f"{1 << 63}-{(1 << 64) - 1}"] == 1
+    # Labels are exact integers even beyond float53 precision.
+    assert str((1 << 64) - 1) in list(out)[-1]
+
+
+def test_pow2_histogram_preserves_bin_order():
+    from repro.sim import pow2_histogram
+
+    out = pow2_histogram({7: 1, 1: 2, 4: 3})
+    assert list(out) == ["1", "8-15", "64-127"]
+
+
+def test_intervals_identical_overlaps_all_counted():
+    # Coalesce expansion replays one representative interval per member:
+    # N identical intervals must rasterise to concurrency N, not 1.
+    rec = IntervalRecorder()
+    for tag in range(4):
+        rec.record(1.0, 2.0, tag)
+    starts, counts = rec.activity(0.5)
+    assert counts.tolist() == [4, 4]
+    assert starts.tolist() == [1.0, 1.5]
+    assert rec.total_busy_time() == pytest.approx(4.0)
+
+
+def test_intervals_bin_width_larger_than_span():
+    rec = IntervalRecorder()
+    rec.record(0.0, 0.25, "a")
+    rec.record(0.1, 0.2, "b")
+    starts, counts = rec.activity(10.0)
+    assert len(starts) == 1 and counts.tolist() == [2]
+
+
+def test_intervals_partial_overlap_staircase():
+    rec = IntervalRecorder()
+    rec.record(0.0, 2.0, 0)
+    rec.record(1.0, 3.0, 1)
+    rec.record(2.0, 4.0, 2)
+    starts, counts = rec.activity(1.0)
+    # Bins [0,1) [1,2) [2,3) [3,4): overlap staircase 1-2-2-1.
+    assert counts.tolist() == [1, 2, 2, 1]
+    assert rec.span == (0.0, 4.0)
+    assert rec.total_busy_time() == pytest.approx(6.0)
+
+
+def test_intervals_activity_bad_bin_width():
+    rec = IntervalRecorder()
+    rec.record(0.0, 1.0)
+    with pytest.raises(ValueError):
+        rec.activity(0.0)
+    with pytest.raises(ValueError):
+        rec.activity(-1.0)

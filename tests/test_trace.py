@@ -1,0 +1,510 @@
+"""Tests for the unified tracing & metrics plane (repro.trace).
+
+Covers the tracer core (modes, aggregates, coalesce expansion), the
+metrics registry and counter schema, the Chrome trace exporter (schema
+validation), reconciliation of span totals against ``Engine.counters()``
+and ``DarshanProfiler.summary()``, the zero-cost off guarantee
+(differential: trace off vs full is bit-identical across strategies ×
+delta × tam × coalesce), the campaign ``grid.trace`` axis, and the
+service ``/metrics`` + ``/healthz`` endpoints.
+"""
+
+import json
+import math
+import urllib.request
+
+import pytest
+
+from repro import trace as trace_mod
+from repro.campaign import CampaignSpec, SweepService, expand, run_point
+from repro.campaign.http import start_server
+from repro.campaign.spec import SpecError
+from repro.ckpt import EvolvingData
+from repro.experiments.figures import problem_for, strategy_for
+from repro.experiments.runner import run_checkpoint_steps
+from repro.profiling import configure_profiling, make_profiler, profiling_mode
+from repro.sim import Engine
+from repro.trace import (
+    SCHEMA,
+    MetricsRegistry,
+    Span,
+    SpanTracer,
+    configure_trace,
+    trace_mode,
+)
+from repro.trace.export import (
+    chrome_trace,
+    fs_totals,
+    phase_intervals_from_spans,
+    write_intervals_from_spans,
+)
+from repro.trace.timeline import critical_path, render_critical_path, \
+    render_timeline
+
+
+@pytest.fixture(autouse=True)
+def _trace_off():
+    """Every test starts and ends with tracing off and profiling on."""
+    configure_trace("off")
+    configure_profiling("on")
+    yield
+    configure_trace("off")
+    configure_profiling("on")
+
+
+# ---------------------------------------------------------------------------
+# tracer core
+# ---------------------------------------------------------------------------
+
+def test_configure_trace_modes():
+    assert trace_mode() == "off"
+    assert trace_mod.tracer is None
+    tr = configure_trace("summary")
+    assert tr is trace_mod.tracer and tr.mode == "summary"
+    tr = configure_trace("full")
+    assert trace_mod.tracer.mode == "full"
+    assert configure_trace("off") is None
+    assert trace_mod.tracer is None
+    with pytest.raises(ValueError):
+        configure_trace("verbose")
+    with pytest.raises(ValueError):
+        SpanTracer("off")
+
+
+def test_summary_mode_keeps_totals_not_spans():
+    tr = SpanTracer("summary")
+    tr.span(3, "write", "fs", 1.0, 2.5, 100)
+    tr.span(4, "write", "fs", 2.0, 3.0, 50)
+    assert tr.spans == []
+    totals = tr.phase_totals()
+    assert totals["fs:write"] == {"count": 2, "seconds": 2.5, "bytes": 150}
+    s = tr.summary()
+    assert s["mode"] == "summary" and s["n_spans"] == 0
+
+
+def test_coalesced_span_counts_once_per_member():
+    tr = SpanTracer("full")
+    tr.span(8, "checkpoint", "ckpt", 0.0, 2.0, 10, members=(8, 9, 10, 11))
+    totals = tr.phase_totals()["ckpt:checkpoint"]
+    assert totals == {"count": 4, "seconds": 8.0, "bytes": 40}
+    assert len(tr.spans) == 1
+    assert list(tr.spans[0].expand()) == [8, 9, 10, 11]
+
+
+def test_instant_events_and_reset():
+    tr = SpanTracer("full")
+    tr.instant("retry", "fault", 1.5, rank=7, args={"attempt": 1})
+    assert tr.events[0]["name"] == "retry" and tr.events[0]["rank"] == 7
+    tr.span(0, "x", "fs", 0, 1)
+    tr.reset()
+    assert not tr.spans and not tr.events and tr.phase_totals() == {}
+
+
+def test_span_repr_and_duration():
+    s = Span(1, "write", "fs", 1.0, 3.0, 64)
+    assert s.duration == 2.0
+    assert list(s.expand()) == [1]
+
+
+# ---------------------------------------------------------------------------
+# metrics registry + schema
+# ---------------------------------------------------------------------------
+
+def test_registry_snapshot_and_kinds():
+    reg = MetricsRegistry()
+    reg.counter("campaign.points_executed", 5)
+    reg.gauge("campaign.inflight_points", 2)
+    reg.histogram("sim.batch_hist", {"1": 3, "2-3": 4})
+    snap = reg.snapshot()
+    assert snap["campaign.points_executed"] == 5
+    assert snap["sim.batch_hist"] == {"1": 3, "2-3": 4}
+    assert len(reg) == 3
+    assert reg.get("campaign.inflight_points") == 2
+    with pytest.raises(ValueError):
+        reg.counter(".bad")
+
+
+def test_registry_prometheus_text():
+    reg = MetricsRegistry()
+    reg.counter("campaign.points_executed", 5, help="points run")
+    reg.gauge("sim.virtual_time", 1.25)
+    reg.histogram("sim.batch_hist", {"2-3": 4})
+    text = reg.to_prometheus()
+    assert "# TYPE repro_campaign_points_executed counter" in text
+    assert "repro_campaign_points_executed 5" in text
+    assert "# HELP repro_campaign_points_executed points run" in text
+    assert "repro_sim_virtual_time 1.25" in text
+    assert 'repro_sim_batch_hist{bin="2-3"} 4' in text
+    assert text.endswith("\n")
+
+
+def test_engine_counters_pin_full_key_set():
+    """The counter schema is pinned: legacy keys + canonical aliases."""
+    legacy = {
+        "fabric_msgs_intra", "fabric_msgs_inter", "fabric_bytes_intra",
+        "fabric_bytes_inter", "tam_msgs", "tam_packages",
+        "tam_coalesce_ratio", "events_processed", "dispatched_events",
+        "batched_events", "absorbed_events", "batches", "batch_hist",
+        "drain_hist", "wall_seconds", "events_per_second", "virtual_time",
+        "bytes_copied", "buffer_allocs", "bytes_logical", "bytes_to_pfs",
+        "chunk_hits", "chunk_misses",
+    }
+    c = Engine().counters()
+    assert set(c) == legacy | set(SCHEMA)
+    # One release of aliasing: every canonical key mirrors its legacy one.
+    for canonical, old in SCHEMA.items():
+        assert c[canonical] == c[old], (canonical, old)
+    assert set(SCHEMA.values()) <= legacy
+
+
+def test_registry_collects_engine_counters():
+    eng = Engine()
+    reg = MetricsRegistry()
+    reg.collect_engine(eng.counters())
+    snap = reg.snapshot()
+    assert snap["sim.events_processed"] == 0
+    assert isinstance(snap["sim.batch_hist"], dict)
+    assert "fabric.msgs_intra" in snap
+
+
+# ---------------------------------------------------------------------------
+# chrome trace export
+# ---------------------------------------------------------------------------
+
+def _validate_chrome(doc: dict) -> None:
+    """Schema-validate a Chrome trace_event JSON document."""
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    assert doc["displayTimeUnit"] in ("ms", "ns")
+    for ev in doc["traceEvents"]:
+        assert ev["ph"] in ("X", "i", "M"), ev
+        if ev["ph"] == "M":
+            assert ev["name"] == "process_name"
+            continue
+        assert isinstance(ev["name"], str) and ev["name"]
+        assert isinstance(ev["cat"], str)
+        assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        assert isinstance(ev["args"], dict)
+        if ev["ph"] == "X":
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+        else:
+            assert ev["s"] in ("t", "p", "g")
+    json.dumps(doc)  # must be JSON-serializable end to end
+
+
+def test_chrome_trace_schema_and_node_attribution():
+    tr = SpanTracer("full")
+    tr.cores_per_node = 4
+    tr.span(5, "write", "fs", 0.5, 1.5, 100, args={"path": "/f"})
+    tr.instant("retry", "fault", 0.75, rank=5)
+    doc = chrome_trace(tr)
+    _validate_chrome(doc)
+    x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(x) == 1
+    assert x[0]["pid"] == 1 and x[0]["tid"] == 5       # rank 5 on node 1
+    assert x[0]["ts"] == pytest.approx(0.5e6)
+    assert x[0]["dur"] == pytest.approx(1.0e6)
+    assert x[0]["args"]["nbytes"] == 100
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert {m["pid"] for m in meta} == {1}
+
+
+def test_chrome_trace_expands_coalesced_groups():
+    tr = SpanTracer("full")
+    tr.span(8, "checkpoint", "ckpt", 0.0, 1.0, 10, members=(8, 9, 10))
+    doc = chrome_trace(tr, cores_per_node=2)
+    x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert sorted(e["tid"] for e in x) == [8, 9, 10]
+    assert all(e["args"]["coalesced_group"] == 3 for e in x)
+    assert all(e["args"]["representative"] == 8 for e in x)
+
+
+def test_interval_reconstruction_from_spans():
+    tr = SpanTracer("full")
+    tr.span(0, "write", "fs", 0.0, 1.0, 10)
+    tr.span(1, "write", "fs", 0.5, 2.0, 20)
+    tr.span(1, "read", "fs", 2.0, 3.0, 20)           # not a write
+    tr.span(2, "isend", "phase", 0.0, 0.5, 5, members=(2, 3))
+    rec = write_intervals_from_spans(tr)
+    assert rec.intervals == [(0.0, 1.0, 0), (0.5, 2.0, 1)]
+    phases = phase_intervals_from_spans(tr, "isend")
+    assert phases.intervals == [(0.0, 0.5, 2), (0.0, 0.5, 3)]
+    assert fs_totals(tr)["write"] == {"count": 2, "seconds": 2.5,
+                                      "bytes": 30}
+
+
+# ---------------------------------------------------------------------------
+# timeline rendering
+# ---------------------------------------------------------------------------
+
+def test_timeline_and_critical_path():
+    tr = SpanTracer("full")
+    tr.cores_per_node = 2
+    tr.span(0, "checkpoint", "ckpt", 0.0, 2.0, 100)
+    tr.span(0, "write", "fs", 0.5, 1.9, 100)
+    tr.span(1, "checkpoint", "ckpt", 0.0, 1.0, 100)
+    tr.instant("retry", "fault", 0.7, rank=0)
+    art = render_timeline(tr, width=40, max_rows=8)
+    assert "r0/n0" in art and "r1/n0" in art
+    assert "W" in art and "#" in art and "legend:" in art
+    assert "fault:retry" in art
+    cp = critical_path(tr)
+    assert cp["slowest_rank"] == 0
+    assert cp["makespan"] == pytest.approx(2.0)
+    assert cp["chain"][0]["name"] == "checkpoint"
+    text = render_critical_path(tr)
+    assert "slowest rank 0" in text and "ckpt:checkpoint" in text
+
+
+def test_timeline_empty_and_elision():
+    assert "no spans" in render_timeline(SpanTracer("full"))
+    assert critical_path(SpanTracer("full"))["slowest_rank"] is None
+    tr = SpanTracer("full")
+    for r in range(20):
+        tr.span(r, "checkpoint", "ckpt", 0.0, 1.0)
+    art = render_timeline(tr, width=20, max_rows=5)
+    assert "more ranks elided" in art
+
+
+# ---------------------------------------------------------------------------
+# profiling off-switch (satellite: zero-cost DarshanProfiler)
+# ---------------------------------------------------------------------------
+
+def test_configure_profiling_modes():
+    assert profiling_mode() == "on"
+    assert isinstance(make_profiler(), object) and make_profiler() is not None
+    prev = configure_profiling("off")
+    assert prev == "on" and profiling_mode() == "off"
+    assert make_profiler() is None
+    # An active tracer forces a live profiler (spans are forwarded).
+    configure_trace("full")
+    assert make_profiler() is not None
+    configure_trace("off")
+    assert make_profiler() is None
+    with pytest.raises(ValueError):
+        configure_profiling("maybe")
+
+
+def test_run_without_profiler_matches_run_with():
+    """Profiling off changes no simulation outcome, only the records."""
+    strategy = strategy_for("coio_64", 64)
+    data = problem_for(64).data()
+    base = run_checkpoint_steps(strategy, 64, data, 1)
+    configure_profiling("off")
+    quiet = run_checkpoint_steps(strategy_for("coio_64", 64), 64, data, 1)
+    assert quiet.profiler is None
+    assert base.profiler is not None and base.profiler.records
+    assert quiet.result.overall_time == base.result.overall_time
+    assert quiet.result.write_bandwidth == base.result.write_bandwidth
+
+
+# ---------------------------------------------------------------------------
+# reconciliation: spans vs Engine.counters() vs Darshan summary()
+# ---------------------------------------------------------------------------
+
+def test_full_trace_reconciles_with_profiler_and_counters():
+    configure_trace("full")
+    strategy = strategy_for("rbio_ng", 128)
+    data = problem_for(128).data()
+    run = run_checkpoint_steps(strategy, 128, data, 1)
+    tr = trace_mod.tracer
+    assert tr.spans
+
+    summary = run.profiler.summary()
+    writes = fs_totals(tr)["write"]
+    assert writes["count"] == summary["n_writes"]
+    assert writes["bytes"] == summary["bytes_written"]
+    assert writes["seconds"] == pytest.approx(
+        sum(r.duration for r in run.profiler.select(["write"])), rel=1e-12)
+
+    # Span-derived write intervals are row-identical to the Darshan view.
+    legacy = run.profiler.write_intervals()
+    rebuilt = write_intervals_from_spans(tr)
+    assert rebuilt.intervals == legacy.intervals
+
+    # Engine counters reconcile through the schema aliases.
+    c = run.job.engine.counters()
+    for canonical, old in SCHEMA.items():
+        assert c[canonical] == c[old]
+
+    # Checkpoint envelope spans agree with the run's own report.
+    ck = tr.phase_totals()["ckpt:checkpoint"]
+    assert ck["count"] == 128
+    assert ck["bytes"] == run.result.total_bytes
+
+    doc = chrome_trace(tr)
+    _validate_chrome(doc)
+
+
+def test_trace_captures_tam_and_exchange_spans():
+    configure_trace("full")
+    strategy = strategy_for("coio_64", 64, tam="require")
+    data = problem_for(64).data()
+    run_checkpoint_steps(strategy, 64, data, 1)
+    totals = trace_mod.tracer.phase_totals()
+    assert "mpiio:exchange" in totals
+    assert "mpiio:tam-gather" in totals
+    assert "mpiio:commit" in totals
+
+
+def test_trace_captures_restore_spans():
+    from repro.experiments.runner import run_checkpoint_and_restore
+    configure_trace("full")
+    run_checkpoint_and_restore(strategy_for("1pfpp", 16), 16,
+                               problem_for(16).data())
+    totals = trace_mod.tracer.phase_totals()
+    assert totals["ckpt:restore"]["count"] == 16
+
+
+def test_retry_instants_recorded_on_transient_faults():
+    from repro.faults import FaultSchedule, FaultSpec, faults_of
+    configure_trace("full")
+    faults = FaultSchedule((
+        FaultSpec(kind="fs_error", time=0.0, op="write", count=2,
+                  transient=True),
+    ))
+    run = run_checkpoint_steps(strategy_for("1pfpp", 32), 32,
+                               problem_for(32).data(), 1, faults=faults)
+    assert faults_of(run.job).report()["injected"] == 2
+    tr = trace_mod.tracer
+    assert tr.events, "injected faults must surface as trace instants"
+    assert all(e["cat"] == "fault" for e in tr.events)
+    kinds = {e["name"] for e in tr.events}
+    assert "fs_error" in kinds          # injector-side instants
+    assert "retry" in kinds             # retry-loop instants
+
+
+# ---------------------------------------------------------------------------
+# the off guarantee: bit-identical across strategies x delta x tam x coalesce
+# ---------------------------------------------------------------------------
+
+def _run_fingerprint(approach, n_ranks, *, delta="off", tam="off",
+                     coalesce="auto", evolving=False, n_steps=1):
+    strategy = strategy_for(approach, n_ranks, delta=delta, tam=tam)
+    if evolving:
+        data = EvolvingData.mutating(64, mutated_fraction=0.25, seed=3)
+    else:
+        data = problem_for(n_ranks).data()
+    run = run_checkpoint_steps(strategy, n_ranks, data, n_steps,
+                               coalesce=coalesce)
+    fp = []
+    for res in run.results:
+        fp.append((res.overall_time, res.blocking_time,
+                   res.write_bandwidth, tuple(res.roles),
+                   res.t_start.tobytes(), res.t_blocked_end.tobytes(),
+                   res.t_complete.tobytes(), res.bytes_local.tobytes()))
+    fp.append(tuple(sorted(run.fs.stats().items())))
+    fp.append(tuple(sorted(run.job.fabric.stats().items())))
+    return fp
+
+
+@pytest.mark.parametrize("cfg", [
+    dict(approach="1pfpp", n_ranks=32),
+    dict(approach="coio_64", n_ranks=64),
+    dict(approach="coio_64", n_ranks=64, tam="require"),
+    dict(approach="rbio_ng", n_ranks=64),
+    dict(approach="rbio_ng", n_ranks=64, tam="require"),
+    dict(approach="rbio_ng", n_ranks=64, coalesce="off"),
+    dict(approach="rbio_ng", n_ranks=64, delta="auto", evolving=True,
+         n_steps=2),
+    dict(approach="coio_64", n_ranks=64, delta="auto", evolving=True,
+         n_steps=2),
+])
+def test_trace_off_is_bit_identical(cfg):
+    base = _run_fingerprint(**cfg)
+    for mode in ("summary", "full"):
+        configure_trace(mode)
+        traced = _run_fingerprint(**cfg)
+        configure_trace("off")
+        assert traced == base, f"trace={mode} diverged for {cfg}"
+
+
+# ---------------------------------------------------------------------------
+# fig12 parity: the Darshan activity figure rebuilt from the span store
+# ---------------------------------------------------------------------------
+
+def test_fig12_activity_row_identical_from_spans():
+    import numpy as np
+    configure_trace("full")
+    run = run_checkpoint_steps(strategy_for("rbio_ng", 128), 128,
+                               problem_for(128).data(), 1)
+    tr = trace_mod.tracer
+    legacy_starts, legacy_counts = \
+        run.profiler.write_intervals().activity(0.25)
+    span_starts, span_counts = \
+        write_intervals_from_spans(tr).activity(0.25)
+    assert np.array_equal(span_starts, legacy_starts)
+    assert np.array_equal(span_counts, legacy_counts)
+
+
+# ---------------------------------------------------------------------------
+# campaign axis + service telemetry
+# ---------------------------------------------------------------------------
+
+_SPEC = {
+    "name": "trace-axis",
+    "seed": 5,
+    "grid": {"approaches": ["coio_64"], "np": [64],
+             "trace": ["off", "summary"]},
+}
+
+
+def test_grid_trace_axis_expands_and_hashes_distinctly():
+    expanded = expand(CampaignSpec.from_dict(_SPEC))
+    assert [p.trace for p in expanded.points] == ["off", "summary"]
+    assert len(set(expanded.hashes())) == 2
+    off, summary = expanded.points
+    assert off.is_figure_point and not summary.is_figure_point
+    rt = CampaignSpec.from_dict(_SPEC).to_dict()
+    assert rt["grid"]["trace"] == ["off", "summary"]
+
+
+def test_grid_trace_axis_rejects_unknown_mode():
+    bad = {**_SPEC, "grid": {**_SPEC["grid"], "trace": ["loud"]}}
+    with pytest.raises(SpecError, match="trace"):
+        CampaignSpec.from_dict(bad)
+
+
+def test_run_point_trace_summary_and_restored_state():
+    expanded = expand(CampaignSpec.from_dict(
+        {**_SPEC, "grid": {"approaches": ["coio_64"], "np": [64],
+                           "trace": ["full"]}}))
+    out = run_point(expanded.points[0])
+    assert out["trace"] == "full"
+    phases = out["trace_summary"]["phases"]
+    assert phases["ckpt:checkpoint"]["count"] == 64
+    assert trace_mod.tracer is None          # restored after the point
+    assert profiling_mode() == "on"
+    json.dumps(out)
+
+
+def test_run_point_trace_off_matches_traced_results():
+    spec = CampaignSpec.from_dict(_SPEC)
+    points = expand(spec).points
+    off = run_point(points[0])
+    traced = run_point(points[1])
+    for key in ("overall_time", "blocking_time", "write_bandwidth"):
+        assert math.isclose(off[key], traced[key], rel_tol=0, abs_tol=0)
+
+
+def test_service_metrics_and_healthz_endpoints():
+    service = SweepService(n_workers=1, cache=False)
+    server, _thread = start_server(service)
+    host, port = server.server_address
+    try:
+        campaign_id = service.submit(_SPEC)
+        service.wait(campaign_id, timeout=300)
+        with urllib.request.urlopen(
+                f"http://{host}:{port}/healthz", timeout=30) as resp:
+            health = json.loads(resp.read())
+        assert health["status"] == "ok" and health["workers"] == 1
+        with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=30) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        assert "# TYPE repro_campaign_points_executed counter" in text
+        assert "repro_campaign_points_executed 2" in text
+        assert "repro_campaign_n_workers 1" in text
+    finally:
+        server.shutdown()
+        service.shutdown()

@@ -7,7 +7,9 @@ asserts:
 
 1. the HTTP results are bit-identical to a direct
    :func:`repro.experiments.run_sweep` over the same expanded points;
-2. the duplicate submission was deduped to one execution (counters).
+2. the duplicate submission was deduped to one execution (counters);
+3. the ``/healthz`` liveness probe answers and ``/metrics`` serves valid
+   Prometheus text exposition with the service counters in it.
 
 Exit code 0 on success; any mismatch raises.  Run from the repo root::
 
@@ -91,6 +93,20 @@ def main() -> int:
     assert counters["campaigns_submitted"] == 2, counters
     assert counters["campaigns_deduped"] == 1, counters
     assert counters["points_executed"] == len(points), counters
+
+    health = _get(f"{base}/healthz")
+    assert health == {"status": "ok", "workers": 2}, health
+    with urllib.request.urlopen(f"{base}/metrics") as resp:
+        assert resp.headers["Content-Type"].startswith("text/plain"), \
+            resp.headers["Content-Type"]
+        metrics = resp.read().decode()
+    print("metrics sample:",
+          [ln for ln in metrics.splitlines() if "points_executed" in ln])
+    assert ("# TYPE repro_campaign_points_executed counter" in metrics
+            and f"repro_campaign_points_executed {len(points)}" in metrics
+            and "repro_campaign_n_workers 2" in metrics
+            and "repro_campaign_campaigns_deduped 1" in metrics), \
+        "Prometheus exposition missing expected series"
 
     results = _get(f"{base}/campaigns/{cid}/results")
     assert results == direct, "HTTP results diverge from direct run_sweep"
